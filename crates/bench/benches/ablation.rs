@@ -1,0 +1,207 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! PCP body percentile, dynamic predictor, migration-cost weight and FFD
+//! ordering key. Each reports the *quality* metric (hosts provisioned /
+//! mean active hosts) through Criterion's throughput labels and benches
+//! the compute cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_bench::bench_input;
+use vmcw_consolidation::ffd::OrderKey;
+use vmcw_consolidation::planner::Planner;
+use vmcw_consolidation::prediction::Predictor;
+use vmcw_consolidation::sizing::SizingFunction;
+use vmcw_migration::cost::MigrationCostModel;
+use vmcw_trace::datacenters::DataCenterId;
+
+fn ablate_pcp_body(c: &mut Criterion) {
+    let input = bench_input(DataCenterId::Banking, 0.15, 14, 4, 42);
+    let mut group = c.benchmark_group("ablate-pcp-body");
+    group.sample_size(10);
+    for pct in [80.0, 90.0, 95.0] {
+        let mut planner = Planner::baseline();
+        planner.pcp.body = SizingFunction::Percentile(pct);
+        let hosts = planner
+            .plan_stochastic(&input)
+            .expect("plan")
+            .provisioned_hosts();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{pct:.0}->{hosts}hosts")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_stochastic(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_predictor(c: &mut Criterion) {
+    let input = bench_input(DataCenterId::Banking, 0.1, 14, 4, 42);
+    let mut group = c.benchmark_group("ablate-predictor");
+    group.sample_size(10);
+    for (label, predictor) in [
+        ("oracle", Predictor::Oracle),
+        ("prev", Predictor::PreviousWindow),
+        ("recent+periodic", Predictor::baseline()),
+        ("ewma", Predictor::Ewma { alpha: 0.3 }),
+    ] {
+        let mut planner = Planner::baseline();
+        planner.dynamic.cpu_predictor = predictor;
+        let hosts = planner
+            .plan_dynamic(&input)
+            .expect("plan")
+            .provisioned_hosts();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{hosts}hosts")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_dynamic(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_migration_cost(c: &mut Criterion) {
+    let input = bench_input(DataCenterId::Beverage, 0.1, 14, 4, 42);
+    let mut group = c.benchmark_group("ablate-migration-cost");
+    group.sample_size(10);
+    for (label, model) in [
+        ("free", MigrationCostModel::free()),
+        ("calibrated", MigrationCostModel::default_calibration()),
+        (
+            "heavy",
+            MigrationCostModel {
+                risk_penalty_wh_per_gb: 15.0,
+                ..MigrationCostModel::default_calibration()
+            },
+        ),
+    ] {
+        let mut planner = Planner::baseline();
+        planner.dynamic.cost_model = model;
+        let migrations = planner.plan_dynamic(&input).expect("plan").migrations.len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{migrations}migs")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_dynamic(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_order_key(c: &mut Criterion) {
+    let input = bench_input(DataCenterId::NaturalResources, 0.1, 14, 2, 42);
+    let mut group = c.benchmark_group("ablate-order-key");
+    group.sample_size(10);
+    for (label, order) in [
+        ("dominant", OrderKey::Dominant),
+        ("cpu", OrderKey::Cpu),
+        ("mem", OrderKey::Mem),
+        ("l2", OrderKey::L2),
+    ] {
+        let mut planner = Planner::baseline();
+        planner.order = order;
+        let hosts = planner
+            .plan_semi_static(&input)
+            .expect("plan")
+            .provisioned_hosts();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{hosts}hosts")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_semi_static(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_packing_algorithm(c: &mut Criterion) {
+    use vmcw_consolidation::planner::PackingAlgorithm;
+    let input = bench_input(DataCenterId::Banking, 0.15, 14, 2, 42);
+    let mut group = c.benchmark_group("ablate-packing");
+    group.sample_size(10);
+    for (label, packing) in [
+        ("ffd", PackingAlgorithm::FirstFitDecreasing),
+        ("bfd", PackingAlgorithm::BestFitDecreasing),
+    ] {
+        let mut planner = Planner::baseline();
+        planner.packing = packing;
+        let hosts = planner
+            .plan_semi_static(&input)
+            .expect("plan")
+            .provisioned_hosts();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{hosts}hosts")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_semi_static(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_stochastic_variant(c: &mut Criterion) {
+    use vmcw_consolidation::planner::StochasticVariant;
+    let input = bench_input(DataCenterId::Banking, 0.1, 14, 2, 42);
+    let mut group = c.benchmark_group("ablate-stochastic-variant");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("peak-clustering", StochasticVariant::PeakClustering),
+        ("correlation-aware", StochasticVariant::CorrelationAware),
+    ] {
+        let mut planner = Planner::baseline();
+        planner.stochastic_variant = variant;
+        let hosts = planner
+            .plan_stochastic(&input)
+            .expect("plan")
+            .provisioned_hosts();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{hosts}hosts")),
+            &planner,
+            |b, planner| b.iter(|| black_box(planner.plan_stochastic(&input).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_power_curve(c: &mut Criterion) {
+    use vmcw_cluster::power::{PowerCurve, PowerModel};
+    use vmcw_emulator::engine::{emulate, EmulatorConfig};
+    let input = bench_input(DataCenterId::Banking, 0.1, 14, 4, 42);
+    let planner = Planner::baseline();
+    let mut plan = planner.plan_dynamic(&input).expect("plan");
+    let mut group = c.benchmark_group("ablate-power-curve");
+    group.sample_size(10);
+    for (label, curve) in [
+        ("linear", PowerCurve::Linear),
+        ("spec-like", PowerCurve::SpecLike),
+    ] {
+        // Rebuild the data center's hosts with the chosen power curve.
+        let mut dc = vmcw_cluster::datacenter::DataCenter::new(
+            vmcw_cluster::server::ServerModel {
+                power: PowerModel::with_curve(210.0, 410.0, curve),
+                ..vmcw_cluster::server::ServerModel::hs23_elite()
+            },
+            14,
+            4,
+        );
+        for _ in 0..plan.dc.len() {
+            dc.provision();
+        }
+        plan.dc = dc;
+        let kwh = emulate(&input, &plan, &EmulatorConfig::default()).energy_kwh;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}->{kwh:.0}kwh")),
+            &plan,
+            |b, plan| b.iter(|| black_box(emulate(&input, plan, &EmulatorConfig::default()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_pcp_body,
+    ablate_predictor,
+    ablate_migration_cost,
+    ablate_order_key,
+    ablate_packing_algorithm,
+    ablate_stochastic_variant,
+    ablate_power_curve
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Emulator replay-throughput benchmarks: how fast the trace-replay
+//! engine evaluates a plan (the inner loop of every evaluation figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_bench::bench_input;
+use vmcw_consolidation::planner::{Planner, PlannerKind};
+use vmcw_emulator::engine::{emulate, EmulatorConfig};
+use vmcw_trace::datacenters::DataCenterId;
+
+fn bench_emulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate");
+    group.sample_size(10);
+    for (kind, label) in [
+        (PlannerKind::SemiStatic, "fixed-plan"),
+        (PlannerKind::Dynamic, "dynamic-plan"),
+    ] {
+        let input = bench_input(DataCenterId::Beverage, 0.2, 10, 7, 42);
+        let plan = Planner::baseline().plan(kind, &input).expect("plan");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_emulate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulate-scaling");
+    group.sample_size(10);
+    for days in [4usize, 8, 14] {
+        let input = bench_input(DataCenterId::Airlines, 0.2, 10, days, 42);
+        let plan = Planner::baseline().plan_semi_static(&input).expect("plan");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{days}days")),
+            &(),
+            |b, ()| {
+                b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulate, bench_emulate_scaling);
+criterion_main!(benches);

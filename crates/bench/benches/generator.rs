@@ -1,0 +1,43 @@
+//! Synthetic-workload generator benchmarks (the trace substrate that
+//! replaces the proprietary data-center traces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_trace::datacenters::{DataCenterId, GeneratorConfig};
+use vmcw_trace::stats::Cdf;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for dc in DataCenterId::ALL {
+        let cfg = GeneratorConfig::new(dc).scale(0.1).days(30);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dc.industry()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(cfg.generate(42)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cdf_construction(c: &mut Criterion) {
+    let workload = GeneratorConfig::new(DataCenterId::Banking)
+        .scale(0.2)
+        .days(30)
+        .generate(1);
+    c.bench_function("cdf-peak-to-average", |b| {
+        b.iter(|| {
+            let cdf: Cdf = workload
+                .servers
+                .iter()
+                .filter_map(|s| vmcw_trace::stats::peak_to_average(s.cpu_used_frac.values()))
+                .collect();
+            black_box(cdf)
+        });
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_cdf_construction);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Pre-copy live-migration model benchmarks (the §4.3 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_migration::cost::MigrationCostModel;
+use vmcw_migration::precopy::{HostLoad, PrecopyConfig, VmMigrationProfile};
+use vmcw_migration::reliability::derive_min_reservation;
+
+fn bench_precopy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precopy");
+    let config = PrecopyConfig::gigabit();
+    for (label, mem_mb, dirty) in [("small-idle", 2048.0, 20.0), ("large-busy", 32768.0, 600.0)] {
+        let vm = VmMigrationProfile::new(mem_mb, dirty, mem_mb * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &vm, |b, vm| {
+            b.iter(|| black_box(config.simulate(vm, HostLoad::new(0.6, 0.7))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_estimation(c: &mut Criterion) {
+    let config = PrecopyConfig::gigabit();
+    let model = MigrationCostModel::default_calibration();
+    let vm = VmMigrationProfile::new(8192.0, 300.0, 1024.0);
+    c.bench_function("migration-cost-estimate", |b| {
+        b.iter(|| black_box(model.estimate(&config, &vm, HostLoad::new(0.7, 0.75))));
+    });
+}
+
+fn bench_reservation_derivation(c: &mut Criterion) {
+    let config = PrecopyConfig::gigabit();
+    let vm = VmMigrationProfile::new(8192.0, 400.0, 1024.0);
+    c.bench_function("derive-min-reservation", |b| {
+        b.iter(|| black_box(derive_min_reservation(&config, &vm)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_precopy,
+    bench_cost_estimation,
+    bench_reservation_derivation
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Placement-algorithm benchmarks: the three planners at data-center
+//! scale. These regenerate the compute side of the paper's evaluation
+//! (Fig 7 onwards is one `plan + emulate` per cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_bench::bench_input;
+use vmcw_consolidation::planner::{Planner, PlannerKind};
+use vmcw_trace::datacenters::DataCenterId;
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planners");
+    group.sample_size(10);
+    for dc in [DataCenterId::Banking, DataCenterId::Airlines] {
+        let input = bench_input(dc, 0.25, 14, 7, 42);
+        let planner = Planner::baseline();
+        for kind in PlannerKind::EVALUATED {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{dc:?}")),
+                &input,
+                |b, input| {
+                    b.iter(|| black_box(planner.plan(kind, input).expect("plan")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ffd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd-scaling");
+    group.sample_size(10);
+    for scale in [0.1, 0.25, 0.5] {
+        let input = bench_input(DataCenterId::NaturalResources, scale, 10, 4, 7);
+        let planner = Planner::baseline();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}vms", input.vms.len())),
+            &input,
+            |b, input| {
+                b.iter(|| black_box(planner.plan_semi_static(input).expect("plan")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners, bench_ffd_scaling);
+criterion_main!(benches);

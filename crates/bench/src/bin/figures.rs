@@ -1,0 +1,135 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p vmcw-bench --release --bin figures -- [OPTIONS] [IDS...]
+//!
+//! OPTIONS:
+//!   --quick          run at reduced scale (8% of servers, shorter traces)
+//!   --scale <f>      server-count scale (default 1.0)
+//!   --seed <n>       generator seed (default 42)
+//!   --out <dir>      output directory (default results/)
+//!
+//! IDS: table1 table2 table3 fig1..fig12 olio migration emuval
+//!      sensitivity (= figs 13-16) | fig13 fig14 fig15 fig16
+//!      (default: everything)
+//! ```
+//!
+//! Each experiment writes `<out>/<id>.csv` and prints a one-line summary.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use vmcw_core::experiments::{
+    reproduction_summary, run_experiment, Suite, SuiteConfig, ALL_EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+};
+
+struct Options {
+    config: SuiteConfig,
+    out: PathBuf,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut config = SuiteConfig::paper();
+    let mut out = PathBuf::from("results");
+    let mut ids = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = SuiteConfig::quick(),
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                config.scale = v.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: figures [--quick] [--scale F] [--seed N] [--out DIR] [ids...]"
+                        .to_owned(),
+                );
+            }
+            id => ids.push(id.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|&s| s.to_owned()).collect();
+        ids.push("sensitivity".to_owned());
+        ids.extend(EXTENSION_EXPERIMENTS.iter().map(|&s| s.to_owned()));
+    }
+    Ok(Options { config, out, ids })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# vmcw figure harness — scale {}, seed {}, {}+{} days, output {}",
+        options.config.scale,
+        options.config.seed,
+        options.config.history_days,
+        options.config.eval_days,
+        options.out.display()
+    );
+    let mut suite = Suite::new(options.config);
+    let mut failures = 0;
+    for id in &options.ids {
+        let start = Instant::now();
+        match run_experiment(id, &mut suite) {
+            Ok(tables) => {
+                for table in tables {
+                    match table.write_csv(&options.out) {
+                        Ok(path) => println!(
+                            "{id:>12}: {} rows -> {} ({:.1}s)",
+                            table.len(),
+                            path.display(),
+                            start.elapsed().as_secs_f64()
+                        ),
+                        Err(e) => {
+                            eprintln!("{id:>12}: write failed: {e}");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{id:>12}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    // Paper-vs-measured summary over the suite's cached runs.
+    match reproduction_summary(&mut suite) {
+        Ok(md) => {
+            let path = options.out.join("SUMMARY.md");
+            if let Err(e) = std::fs::write(&path, &md) {
+                eprintln!("     SUMMARY: write failed: {e}");
+                failures += 1;
+            } else {
+                let headline = md.lines().nth(2).unwrap_or_default();
+                println!("     SUMMARY: {} -> {}", headline.trim(), path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("     SUMMARY: {e}");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,433 @@
+//! `vmcw` — consolidation-planning CLI over CSV traces.
+//!
+//! The workflow a consolidation engagement runs (§7: "a comprehensive
+//! consolidation planning analysis prior to VM consolidation in the
+//! wild"), each step a subcommand:
+//!
+//! ```text
+//! vmcw generate --dc banking --scale 0.1 --days 44 --seed 42 --out trace.csv
+//! vmcw analyze  trace.csv
+//! vmcw plan     trace.csv --history-days 30 [--planner all] [--bound 0.8]
+//! ```
+//!
+//! `analyze` and `plan` accept any CSV in the documented schema
+//! (`vmcw_trace::io::HEADER`), so real monitored traces drop straight in.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vmcw_cluster::server::ServerModel;
+use vmcw_consolidation::planner::PlannerKind;
+use vmcw_core::study::{Study, StudyConfig};
+use vmcw_emulator::report;
+use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
+use vmcw_trace::{analysis, io, stats};
+
+const USAGE: &str = "\
+usage:
+  vmcw generate --dc <banking|airlines|natres|beverage> [--scale F] [--days N] [--seed N] --out FILE
+  vmcw analyze <trace.csv> [--dc NAME]
+  vmcw plan <trace.csv> [--dc NAME] [--history-days N] [--planner all|semi-static|stochastic|dynamic] [--bound F]
+  vmcw compare <trace.csv> [--dc NAME] [--history-days N]
+  vmcw drain <trace.csv> --host N [--dc NAME] [--history-days N] [--fabric 1gbe|10gbe]
+  vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]";
+
+fn parse_dc(name: &str) -> Result<DataCenterId, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "banking" | "a" => Ok(DataCenterId::Banking),
+        "airlines" | "b" => Ok(DataCenterId::Airlines),
+        "natres" | "natural-resources" | "c" => Ok(DataCenterId::NaturalResources),
+        "beverage" | "d" => Ok(DataCenterId::Beverage),
+        other => Err(format!("unknown data center `{other}`")),
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::BTreeMap<String, String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone();
+            flags.insert(name.to_owned(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args { positional, flags })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "plan" => cmd_plan(rest),
+        "compare" => cmd_compare(rest),
+        "drain" => cmd_drain(rest),
+        "estate" => cmd_estate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let args = parse_args(args)?;
+    let dc = parse_dc(args.flags.get("dc").ok_or("--dc is required")?)?;
+    let scale: f64 = args.flags.get("scale").map_or(Ok(1.0), |v| {
+        v.parse().map_err(|e| format!("bad --scale: {e}"))
+    })?;
+    let days: usize = args.flags.get("days").map_or(Ok(44), |v| {
+        v.parse().map_err(|e| format!("bad --days: {e}"))
+    })?;
+    let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
+        v.parse().map_err(|e| format!("bad --seed: {e}"))
+    })?;
+    let out = PathBuf::from(args.flags.get("out").ok_or("--out is required")?);
+    let workload = GeneratorConfig::new(dc)
+        .scale(scale)
+        .days(days)
+        .generate(seed);
+    io::save(&workload, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} servers x {days} days of the {dc} workload to {}",
+        workload.servers.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_trace(args: &Args) -> Result<GeneratedWorkload, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("missing trace file argument")?;
+    let dc = args
+        .flags
+        .get("dc")
+        .map(|v| parse_dc(v))
+        .transpose()?
+        .unwrap_or(DataCenterId::Banking);
+    io::load(dc, &PathBuf::from(path)).map_err(|e| e.to_string())
+}
+
+fn frac_above(samples: &[f64], x: f64) -> f64 {
+    samples.iter().filter(|&&v| v > x).count() as f64 / samples.len().max(1) as f64
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    println!(
+        "{} servers, {} days, mean CPU {:.2}%\n",
+        w.servers.len(),
+        w.days,
+        w.mean_cpu_util_pct()
+    );
+
+    let mut cpu_pa = Vec::new();
+    let mut cpu_cov = Vec::new();
+    let mut mem_pa = Vec::new();
+    for s in &w.servers {
+        cpu_pa.extend(stats::peak_to_average(s.cpu_used_frac.values()));
+        cpu_cov.extend(stats::coefficient_of_variability(s.cpu_used_frac.values()));
+        mem_pa.extend(stats::peak_to_average(s.mem_used_mb.values()));
+    }
+    if let Some(s5) = stats::FiveNumberSummary::of(&cpu_pa) {
+        println!(
+            "CPU  peak/average : min {:.1} | q1 {:.1} | median {:.1} | q3 {:.1} | max {:.1}; {:.0}% of servers above 5",
+            s5.min, s5.q1, s5.median, s5.q3, s5.max,
+            frac_above(&cpu_pa, 5.0) * 100.0
+        );
+    }
+    println!(
+        "CPU  CoV          : {:.0}% of servers heavy-tailed (CoV >= 1)",
+        frac_above(&cpu_cov, 1.0) * 100.0
+    );
+    println!(
+        "mem  peak/average : {:.0}% of servers at or below 1.5",
+        (1.0 - frac_above(&mem_pa, 1.5)) * 100.0
+    );
+
+    let cpu = w.aggregate_cpu_rpe2();
+    let mem = w.aggregate_mem_mb();
+    let ratios: Vec<f64> = cpu
+        .iter()
+        .zip(mem.iter())
+        .filter(|&(_, m)| m > 0.0)
+        .map(|(c, m)| c / (m / 1024.0))
+        .collect();
+    println!(
+        "resource ratio    : median {:.0} RPE2/GB; above the HS23 blade's 160 for {:.0}% of hours",
+        stats::percentile(&ratios, 50.0).unwrap_or(0.0),
+        frac_above(&ratios, 160.0) * 100.0
+    );
+
+    let series: Vec<&vmcw_trace::series::TimeSeries> = w
+        .servers
+        .iter()
+        .take(80)
+        .map(|s| &s.cpu_used_frac)
+        .collect();
+    let stability = analysis::correlation_stability(&series, w.hours() / 2).unwrap_or(0.0);
+    println!("corr. stability   : {stability:.3} (high values favour stochastic consolidation)");
+    let hist = analysis::peak_hour_histogram(series.iter().copied());
+    let peak_hour = (0..24).max_by_key(|&h| hist[h]).unwrap_or(0);
+    println!("dominant peak hour: {peak_hour}:00");
+    Ok(())
+}
+
+fn history_days_for(args: &Args, total_days: usize) -> Result<usize, String> {
+    let days: usize = args
+        .flags
+        .get("history-days")
+        .map_or(Ok(total_days.saturating_sub(total_days / 3).max(1)), |v| {
+            v.parse().map_err(|e| format!("bad --history-days: {e}"))
+        })?;
+    if days >= total_days {
+        return Err(format!(
+            "--history-days {days} leaves no evaluation window in a {total_days}-day trace"
+        ));
+    }
+    Ok(days)
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use vmcw_core::study::{compare, Scenario};
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    let history_days = history_days_for(&args, w.days)?;
+    let config = StudyConfig {
+        history_days,
+        eval_days: w.days - history_days,
+        ..StudyConfig::paper_baseline(w.dc, 0)
+    };
+    let study = Study::from_workload(&config, w);
+    let baseline = vmcw_consolidation::planner::Planner::baseline();
+    let rows = compare(
+        &study,
+        &[
+            Scenario::new("semi-static", PlannerKind::SemiStatic, baseline),
+            Scenario::new("stochastic (PCP)", PlannerKind::Stochastic, baseline),
+            Scenario::new(
+                "stochastic (corr)",
+                PlannerKind::Stochastic,
+                vmcw_consolidation::planner::Planner {
+                    stochastic_variant:
+                        vmcw_consolidation::planner::StochasticVariant::CorrelationAware,
+                    ..baseline
+                },
+            ),
+            Scenario::new("dynamic @U=0.8", PlannerKind::Dynamic, baseline),
+            Scenario::new(
+                "dynamic @U=1.0",
+                PlannerKind::Dynamic,
+                baseline.with_utilization_bound(1.0),
+            ),
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{:<18} {:>7} {:>11} {:>12} {:>12}",
+        "scenario", "hosts", "energy_kwh", "migrations", "contention"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>7} {:>11.1} {:>12} {:>11.4}%",
+            r.label,
+            r.hosts,
+            r.energy_kwh,
+            r.migrations,
+            r.contention_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_drain(args: &[String]) -> Result<(), String> {
+    use vmcw_consolidation::drain::plan_drain;
+    use vmcw_migration::precopy::PrecopyConfig;
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    let history_days = history_days_for(&args, w.days)?;
+    let host: u32 = args
+        .flags
+        .get("host")
+        .ok_or("--host is required")?
+        .parse()
+        .map_err(|e| format!("bad --host: {e}"))?;
+    let fabric = match args.flags.get("fabric").map_or("1gbe", String::as_str) {
+        "1gbe" => PrecopyConfig::gigabit(),
+        "10gbe" => PrecopyConfig::ten_gigabit(),
+        other => return Err(format!("unknown --fabric `{other}`")),
+    };
+    let config = StudyConfig {
+        history_days,
+        eval_days: w.days - history_days,
+        ..StudyConfig::paper_baseline(w.dc, 0)
+    };
+    let study = Study::from_workload(&config, w);
+    let plan = config
+        .planner
+        .plan_stochastic(study.input())
+        .map_err(|e| e.to_string())?;
+    let placement = plan.placements.at_hour(0);
+    let host = vmcw_cluster::datacenter::HostId(host);
+    let drain = plan_drain(
+        study.input(),
+        placement,
+        host,
+        &plan.dc,
+        0,
+        (1.0, 1.0),
+        &fabric,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "drain of {host}: {} migrations, {:.1} min, {:.0} MB moved, {} failed",
+        drain.moves.len(),
+        drain.duration_secs() / 60.0,
+        drain.schedule.total_copied_mb(),
+        drain.schedule.failed()
+    );
+    for (vm, dest) in &drain.moves {
+        println!("  {vm} -> {dest}");
+    }
+    Ok(())
+}
+
+fn cmd_estate(args: &[String]) -> Result<(), String> {
+    use vmcw_consolidation::ffd::OrderKey;
+    use vmcw_consolidation::fixed_pool::{pack_fixed, FixedPoolError};
+    use vmcw_consolidation::sizing::SizingFunction;
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    let history_days = history_days_for(&args, w.days)?;
+    let hs23: u32 = args
+        .flags
+        .get("hs23")
+        .ok_or("--hs23 is required")?
+        .parse()
+        .map_err(|e| format!("bad --hs23: {e}"))?;
+    let hs22: u32 = args
+        .flags
+        .get("hs22")
+        .map_or(Ok(0), |v| v.parse().map_err(|e| format!("bad --hs22: {e}")))?;
+    let config = StudyConfig {
+        history_days,
+        eval_days: w.days - history_days,
+        ..StudyConfig::paper_baseline(w.dc, 0)
+    };
+    let study = Study::from_workload(&config, w);
+    let input = study.input();
+    let demands = input
+        .vms
+        .iter()
+        .map(|t| {
+            (
+                t.vm.id,
+                t.size_over(input.history_range(), SizingFunction::Max),
+            )
+        })
+        .collect();
+    let net = input.net_demands();
+    let mut inventory = vec![(ServerModel::hs23_elite(), hs23)];
+    if hs22 > 0 {
+        inventory.push((ServerModel::hs22(), hs22));
+    }
+    let estate = vmcw_cluster::datacenter::DataCenter::heterogeneous(&inventory, 14, 4);
+    match pack_fixed(
+        &demands,
+        &net,
+        &estate,
+        &input.constraints,
+        (1.0, 1.0),
+        OrderKey::Dominant,
+    ) {
+        Ok(fit) => {
+            println!(
+                "fits: {} VMs across {} hosts; {} hosts left empty",
+                input.vms.len(),
+                estate.len() - fit.empty_hosts.len(),
+                fit.empty_hosts.len()
+            );
+            Ok(())
+        }
+        Err(FixedPoolError::PoolExhausted { vm, demand }) => {
+            println!("exhausted: first stranded VM {vm} needs {demand}");
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    let history_days = history_days_for(&args, w.days)?;
+    let bound: f64 = args.flags.get("bound").map_or(Ok(0.8), |v| {
+        v.parse().map_err(|e| format!("bad --bound: {e}"))
+    })?;
+    let which = args.flags.get("planner").map_or("all", String::as_str);
+
+    let mut config = StudyConfig {
+        history_days,
+        eval_days: w.days - history_days,
+        ..StudyConfig::paper_baseline(w.dc, 0)
+    };
+    config.planner = config.planner.with_utilization_bound(bound);
+    let study = Study::from_workload(&config, w);
+
+    let kinds: Vec<PlannerKind> = match which {
+        "all" => PlannerKind::EVALUATED.to_vec(),
+        "semi-static" => vec![PlannerKind::SemiStatic],
+        "stochastic" => vec![PlannerKind::Stochastic],
+        "dynamic" => vec![PlannerKind::Dynamic],
+        "static" => vec![PlannerKind::Static],
+        other => return Err(format!("unknown --planner `{other}`")),
+    };
+
+    println!(
+        "planning {} VMs, {history_days}d history + {}d evaluation, utilization bound {bound}\n",
+        study.input().vms.len(),
+        config.eval_days
+    );
+    println!(
+        "{:<12} {:>7} {:>11} {:>12} {:>12} {:>14}",
+        "planner", "hosts", "energy_kwh", "migrations", "contention", "mean_active"
+    );
+    for kind in kinds {
+        let run = study.run(kind).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>7} {:>11.1} {:>12} {:>11.4}% {:>14.1}",
+            kind.label(),
+            run.cost.provisioned_hosts,
+            run.cost.energy_kwh,
+            run.report.migrations,
+            report::contention_time_fraction(&run.report) * 100.0,
+            run.report.mean_active_hosts(),
+        );
+    }
+    Ok(())
+}

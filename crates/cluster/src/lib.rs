@@ -1,0 +1,46 @@
+//! Physical data-center substrate for the reproduction of *Virtual Machine
+//! Consolidation in the Wild* (Middleware 2014).
+//!
+//! Consolidation planning packs virtual machines onto physical servers; this
+//! crate models everything physical:
+//!
+//! * [`resources`] — the two-dimensional (CPU in RPE2, memory in MB)
+//!   resource vector. The paper's planners optimise exactly these two
+//!   resources ("CPU and memory are the only resources owned by a VM").
+//! * [`rpe2`] — the IDEAS RPE2 relative-performance catalog, including the
+//!   IBM HS23 Elite blade whose CPU/memory ratio of 160 anchors Fig 6.
+//! * [`server`] — server models and the virtualisation-host catalog.
+//! * [`vm`] — virtual machines (one per consolidated source server).
+//! * [`datacenter`] — hosts, racks and subnets.
+//! * [`power`] — the linear utilisation-based power model.
+//! * [`cost`] — facilities (space + hardware) and energy cost models.
+//! * [`constraints`] — the real-world deployment-constraint framework of
+//!   §2.2.4 (affinity, anti-affinity, host and subnet pinning).
+//!
+//! # Example
+//!
+//! ```
+//! use vmcw_cluster::server::ServerModel;
+//!
+//! let blade = ServerModel::hs23_elite();
+//! assert!((blade.cpu_mem_ratio() - 160.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod cost;
+pub mod datacenter;
+pub mod power;
+pub mod resources;
+pub mod rpe2;
+pub mod server;
+pub mod vm;
+
+pub use constraints::{Constraint, ConstraintSet};
+pub use datacenter::{DataCenter, Host, HostId, HostLocation, RackId, SubnetId};
+pub use power::{PowerCurve, PowerModel};
+pub use resources::Resources;
+pub use server::ServerModel;
+pub use vm::{Vm, VmId};

@@ -1,0 +1,154 @@
+//! In-text micro-experiments: the Olio scaling measurement (§4.1), the
+//! live-migration reliability study (§4.3) and the emulator validation
+//! (§5.2).
+
+use crate::render::{fnum, Table};
+use vmcw_emulator::apps::WebAppModel;
+use vmcw_emulator::validate::{validate_emulator, validation_trace, ValidationWorkload};
+use vmcw_migration::precopy::{HostLoad, PrecopyConfig, VmMigrationProfile};
+use vmcw_migration::reliability::ReliabilityThresholds;
+
+/// §4.1: Olio throughput sweep — "for a 6X increase in application
+/// throughput, CPU demand increased from 0.18 core to 1.42 cores (7.9X
+/// increase), whereas the memory demand only increased by 3X".
+#[must_use]
+pub fn olio_experiment() -> Table {
+    let model = WebAppModel::olio();
+    let mut t = Table::new(
+        "olio",
+        &[
+            "ops_per_sec",
+            "cpu_cores",
+            "mem_mb",
+            "cpu_ratio_vs_10ops",
+            "mem_ratio_vs_10ops",
+        ],
+    );
+    let cpu10 = model.cpu_cores(10.0);
+    let mem10 = model.mem_mb(10.0);
+    for ops in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
+        t.push_row([
+            fnum(ops, 0),
+            fnum(model.cpu_cores(ops), 3),
+            fnum(model.mem_mb(ops), 1),
+            fnum(model.cpu_cores(ops) / cpu10, 2),
+            fnum(model.mem_mb(ops) / mem10, 2),
+        ]);
+    }
+    t
+}
+
+/// §4.3: live-migration behaviour vs host load, showing why the paper
+/// reserves 20% — the pre-copy duration blows up and convergence is lost
+/// once the source host passes ~80% CPU / ~85% memory utilisation.
+#[must_use]
+pub fn migration_experiment() -> Table {
+    let config = PrecopyConfig::gigabit();
+    let thresholds = ReliabilityThresholds::esxi41();
+    // A busy enterprise VM: 8 GB, dirtying pages at a realistic clip.
+    let vm = VmMigrationProfile::new(8192.0, 400.0, 1024.0);
+    let mut t = Table::new(
+        "migration",
+        &[
+            "cpu_util",
+            "mem_util",
+            "duration_s",
+            "downtime_ms",
+            "rounds",
+            "converged",
+            "within_esxi_thresholds",
+        ],
+    );
+    for step in 0..=10 {
+        let load = 0.5 + 0.05 * f64::from(step);
+        let host = HostLoad::new(load, load);
+        let out = config.simulate(&vm, host);
+        t.push_row([
+            fnum(load, 2),
+            fnum(load, 2),
+            fnum(out.total_secs, 1),
+            fnum(out.downtime_ms, 1),
+            out.rounds.to_string(),
+            out.converged.to_string(),
+            thresholds.is_reliable(host).to_string(),
+        ]);
+    }
+    t
+}
+
+/// §5.2: emulator accuracy — "the 99 percentile error bound of our
+/// emulator is 5% for RuBIS and 2% for daxpy".
+#[must_use]
+pub fn emulator_validation() -> Table {
+    let (cpu, mem) = validation_trace(2000, 99);
+    let mut t = Table::new(
+        "emuval",
+        &[
+            "workload",
+            "points",
+            "p99_cpu_error",
+            "p99_mem_error",
+            "mean_cpu_error",
+            "mean_mem_error",
+            "paper_bound",
+        ],
+    );
+    for (workload, bound) in [
+        (ValidationWorkload::RubisLike, 0.05),
+        (ValidationWorkload::DaxpyLike, 0.02),
+    ] {
+        let r = validate_emulator(workload, &cpu, &mem, 7);
+        t.push_row([
+            workload.label().to_owned(),
+            r.points.to_string(),
+            fnum(r.p99_cpu_error, 4),
+            fnum(r.p99_mem_error, 4),
+            fnum(r.mean_cpu_error, 4),
+            fnum(r.mean_mem_error, 4),
+            fnum(bound, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn olio_table_reproduces_ratios() {
+        let t = olio_experiment();
+        assert_eq!(t.len(), 6);
+        let last = t.rows.last().unwrap();
+        let cpu_ratio: f64 = last[3].parse().unwrap();
+        let mem_ratio: f64 = last[4].parse().unwrap();
+        assert!((cpu_ratio - 7.9).abs() < 0.2, "cpu ratio {cpu_ratio}");
+        assert!((mem_ratio - 3.0).abs() < 0.1, "mem ratio {mem_ratio}");
+    }
+
+    #[test]
+    fn migration_table_shows_the_cliff() {
+        let t = migration_experiment();
+        // Converged at moderate load, not converged at the top end.
+        let first: bool = t.rows.first().unwrap()[5].parse().unwrap();
+        let last: bool = t.rows.last().unwrap()[5].parse().unwrap();
+        assert!(first, "migration at 50% load must converge");
+        assert!(!last, "migration at 100% load must fail");
+        // Duration grows monotonically-ish: last ≥ first.
+        let d0: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let dn: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(dn > d0);
+    }
+
+    #[test]
+    fn emulator_validation_meets_paper_bounds() {
+        let t = emulator_validation();
+        for row in &t.rows {
+            let p99_cpu: f64 = row[2].parse().unwrap();
+            let p99_mem: f64 = row[3].parse().unwrap();
+            let bound: f64 = row[6].parse().unwrap();
+            assert!(p99_cpu <= bound, "{}: cpu {p99_cpu} > {bound}", row[0]);
+            assert!(p99_mem <= bound, "{}: mem {p99_mem} > {bound}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! High-level facade of the reproduction of *Virtual Machine Consolidation
+//! in the Wild* (Middleware 2014).
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`study`] — a [`Study`](study::Study) generates a data-center
+//!   workload, plans it with any of the consolidation variants and
+//!   emulates the result, yielding costs and statistics.
+//! * [`experiments`] — one function per table and figure of the paper,
+//!   producing [`Table`](render::Table)s that the `vmcw-bench` harness
+//!   writes to `results/`.
+//! * [`render`] — plain-text/CSV rendering of experiment outputs.
+//!
+//! The lower layers are re-exported so that downstream users only need
+//! this crate:
+//!
+//! ```
+//! use vmcw_core::prelude::*;
+//!
+//! let config = StudyConfig::quick(DataCenterId::Airlines, 1);
+//! let study = Study::prepare(&config);
+//! let run = study.run(PlannerKind::Stochastic)?;
+//! assert!(run.cost.provisioned_hosts > 0);
+//! # Ok::<(), vmcw_consolidation::PackError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod study;
+
+pub use vmcw_cluster as cluster;
+pub use vmcw_consolidation as consolidation;
+pub use vmcw_emulator as emulator;
+pub use vmcw_migration as migration;
+pub use vmcw_trace as trace;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::render::Table;
+    pub use crate::study::{Study, StudyConfig, StudyRun};
+    pub use vmcw_cluster::cost::FacilityCostModel;
+    pub use vmcw_cluster::server::ServerModel;
+    pub use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};
+    pub use vmcw_consolidation::planner::{ConsolidationPlan, Planner, PlannerKind};
+    pub use vmcw_emulator::engine::{emulate, EmulationReport, EmulatorConfig};
+    pub use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
+}

@@ -1,0 +1,232 @@
+//! Emulator-accuracy validation.
+//!
+//! §5.2: "We have verified the accuracy of the emulator using two
+//! synthetic workloads RuBIS and daxpy. ... Given the resource consumption
+//! in a trace, we run the workload at the appropriate intensity to consume
+//! at least one of the two resources. The other resource is then consumed
+//! using the micro benchmark. ... We observed that the 99 percentile error
+//! bound of our emulator is 5% for RuBIS and 2% for daxpy."
+//!
+//! [`validate_emulator`] reproduces that methodology: for every trace
+//! point it drives the application model at the intensity that consumes
+//! the trace's CPU, fills the remaining memory with the micro-benchmark,
+//! "measures" the achieved consumption (model output + measurement noise),
+//! and reports the error distribution of the emulator's prediction (the
+//! trace itself) against the measurement.
+
+use crate::apps::{BatchKernelModel, MicroBenchmark, WebAppModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vmcw_trace::stats;
+
+/// Which benchmark drives the validation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValidationWorkload {
+    /// RuBiS-like web application (noisier: request-mix variation).
+    RubisLike,
+    /// daxpy-like batch kernel (very stable).
+    DaxpyLike,
+}
+
+impl ValidationWorkload {
+    /// Relative run-to-run variation of the benchmark itself.
+    #[must_use]
+    fn workload_noise(self) -> f64 {
+        match self {
+            // Request-mix and cache effects make a web benchmark noisier.
+            ValidationWorkload::RubisLike => 0.018,
+            ValidationWorkload::DaxpyLike => 0.006,
+        }
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ValidationWorkload::RubisLike => "RuBiS-like",
+            ValidationWorkload::DaxpyLike => "daxpy-like",
+        }
+    }
+}
+
+/// Result of one validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Which workload was used.
+    pub workload: ValidationWorkload,
+    /// Number of trace points replayed.
+    pub points: usize,
+    /// 99th-percentile relative CPU error.
+    pub p99_cpu_error: f64,
+    /// 99th-percentile relative memory error.
+    pub p99_mem_error: f64,
+    /// Mean relative CPU error.
+    pub mean_cpu_error: f64,
+    /// Mean relative memory error.
+    pub mean_mem_error: f64,
+}
+
+/// Replays a (CPU cores, memory MB) trace through the benchmark + filler
+/// pair and measures the emulator's prediction error.
+///
+/// # Panics
+///
+/// Panics if the traces have different lengths or are empty.
+#[must_use]
+pub fn validate_emulator(
+    workload: ValidationWorkload,
+    cpu_trace_cores: &[f64],
+    mem_trace_mb: &[f64],
+    seed: u64,
+) -> ValidationReport {
+    assert_eq!(
+        cpu_trace_cores.len(),
+        mem_trace_mb.len(),
+        "CPU and memory traces must align"
+    );
+    assert!(!cpu_trace_cores.is_empty(), "need at least one trace point");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let filler = MicroBenchmark::precise();
+    let noise = workload.workload_noise();
+    let mut cpu_errors = Vec::with_capacity(cpu_trace_cores.len());
+    let mut mem_errors = Vec::with_capacity(cpu_trace_cores.len());
+
+    for (&cpu_target, &mem_target) in cpu_trace_cores.iter().zip(mem_trace_mb) {
+        // Drive the benchmark to consume the CPU target.
+        let (bench_cpu, bench_mem) = match workload {
+            ValidationWorkload::RubisLike => {
+                let model = WebAppModel::rubis();
+                let ops = model.ops_at_cpu(cpu_target);
+                (model.cpu_cores(ops), model.mem_mb(ops))
+            }
+            ValidationWorkload::DaxpyLike => {
+                let model = BatchKernelModel::daxpy();
+                // daxpy consumes exactly the cores it is given; its
+                // working set is sized to a fraction of the target.
+                (model.cpu_cores(cpu_target), (mem_target * 0.6).max(1.0))
+            }
+        };
+        // Benchmark execution has run-to-run variation.
+        let measured_bench_cpu =
+            bench_cpu * (1.0 + vmcw_trace::synth::gaussian(&mut rng, 0.0, noise));
+        let measured_bench_mem =
+            bench_mem * (1.0 + vmcw_trace::synth::gaussian(&mut rng, 0.0, noise));
+        // Fill the remaining memory (and any CPU shortfall) with the
+        // micro-benchmark.
+        let fill_mem = (mem_target - bench_mem).max(0.0);
+        let measured_fill_mem = filler.consume(&mut rng, fill_mem);
+        let fill_cpu = (cpu_target - bench_cpu).max(0.0);
+        let measured_fill_cpu = filler.consume(&mut rng, fill_cpu);
+
+        let measured_cpu = measured_bench_cpu + measured_fill_cpu;
+        let measured_mem = (measured_bench_mem + measured_fill_mem).max(1.0);
+        if cpu_target > 1e-6 {
+            cpu_errors.push((measured_cpu - cpu_target).abs() / cpu_target);
+        }
+        if mem_target > 1e-6 {
+            mem_errors.push((measured_mem - mem_target).abs() / mem_target);
+        }
+    }
+
+    ValidationReport {
+        workload,
+        points: cpu_trace_cores.len(),
+        p99_cpu_error: stats::percentile(&cpu_errors, 99.0).unwrap_or(0.0),
+        p99_mem_error: stats::percentile(&mem_errors, 99.0).unwrap_or(0.0),
+        mean_cpu_error: stats::mean(&cpu_errors).unwrap_or(0.0),
+        mean_mem_error: stats::mean(&mem_errors).unwrap_or(0.0),
+    }
+}
+
+/// Generates a representative validation trace: a diurnal CPU pattern in
+/// cores and a slowly varying memory commit, `points` hours long.
+#[must_use]
+pub fn validation_trace(points: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cpu = Vec::with_capacity(points);
+    let mut mem = Vec::with_capacity(points);
+    for h in 0..points {
+        let curve = vmcw_trace::workload::business_curve(h % 24);
+        let c = 0.2 + 1.3 * curve * (1.0 + vmcw_trace::synth::gaussian(&mut rng, 0.0, 0.05));
+        let m = 900.0 + 500.0 * curve.powf(0.6) + vmcw_trace::synth::gaussian(&mut rng, 0.0, 10.0);
+        cpu.push(c.max(0.05));
+        mem.push(m.max(64.0));
+    }
+    (cpu, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rubis_error_within_paper_bound() {
+        let (cpu, mem) = validation_trace(1000, 7);
+        let report = validate_emulator(ValidationWorkload::RubisLike, &cpu, &mem, 11);
+        assert!(
+            report.p99_cpu_error < 0.05,
+            "p99 cpu err {}",
+            report.p99_cpu_error
+        );
+        assert!(
+            report.p99_mem_error < 0.05,
+            "p99 mem err {}",
+            report.p99_mem_error
+        );
+        assert_eq!(report.points, 1000);
+    }
+
+    #[test]
+    fn daxpy_error_within_paper_bound() {
+        let (cpu, mem) = validation_trace(1000, 8);
+        let report = validate_emulator(ValidationWorkload::DaxpyLike, &cpu, &mem, 12);
+        assert!(
+            report.p99_cpu_error < 0.02,
+            "p99 cpu err {}",
+            report.p99_cpu_error
+        );
+        assert!(
+            report.p99_mem_error < 0.02,
+            "p99 mem err {}",
+            report.p99_mem_error
+        );
+    }
+
+    #[test]
+    fn daxpy_is_more_accurate_than_rubis() {
+        let (cpu, mem) = validation_trace(2000, 9);
+        let rubis = validate_emulator(ValidationWorkload::RubisLike, &cpu, &mem, 13);
+        let daxpy = validate_emulator(ValidationWorkload::DaxpyLike, &cpu, &mem, 13);
+        assert!(daxpy.p99_cpu_error < rubis.p99_cpu_error);
+    }
+
+    #[test]
+    fn mean_error_below_p99() {
+        let (cpu, mem) = validation_trace(500, 10);
+        let report = validate_emulator(ValidationWorkload::RubisLike, &cpu, &mem, 14);
+        assert!(report.mean_cpu_error <= report.p99_cpu_error);
+        assert!(report.mean_mem_error <= report.p99_mem_error);
+    }
+
+    #[test]
+    fn validation_is_deterministic_in_seed() {
+        let (cpu, mem) = validation_trace(200, 1);
+        let a = validate_emulator(ValidationWorkload::RubisLike, &cpu, &mem, 2);
+        let b = validate_emulator(ValidationWorkload::RubisLike, &cpu, &mem, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_traces_rejected() {
+        let _ = validate_emulator(ValidationWorkload::RubisLike, &[1.0], &[1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ValidationWorkload::RubisLike.label(), "RuBiS-like");
+        assert_eq!(ValidationWorkload::DaxpyLike.label(), "daxpy-like");
+    }
+}

@@ -1,0 +1,56 @@
+//! Live-migration substrate for the reproduction of *Virtual Machine
+//! Consolidation in the Wild* (Middleware 2014).
+//!
+//! §4.3 of the paper: "Live VM migration consists of a pre-copy phase,
+//! where the memory allocated to a virtual machine is transferred from the
+//! source physical server to the target physical server. ... All pages
+//! that were made dirty in a pre-copy round are copied again in the next
+//! round. The pre-copy completes when either a very small number of dirty
+//! pages remain or the number of dirty pages do not reduce between
+//! consecutive rounds."
+//!
+//! This crate implements that design:
+//!
+//! * [`precopy`] — the iterative pre-copy simulation producing duration,
+//!   downtime, rounds and bytes copied (calibrated against the classic
+//!   Clark et al. NSDI'05 numbers: sub-second downtime, about a minute of
+//!   migration for a busy web server on GbE).
+//! * [`reliability`] — the load thresholds the paper measured on ESXi 4.1
+//!   ("if the CPU utilization is below 80% and memory committed is below
+//!   85%, we can perform live migration reliably") and the reservation
+//!   policy (Observation 4: reserve ≥20% of a server for migration).
+//! * [`cost`] — the migration cost model consumed by the dynamic
+//!   consolidation planner (pMapper-style: cost grows with the VM's
+//!   active memory).
+//! * [`schedule`] — per-interval migration scheduling under one-transfer-
+//!   per-link, deciding which consolidation intervals are feasible (§7,
+//!   "Enabling Shorter Consolidation Intervals").
+//! * [`mechanisms`] — post-copy and RDMA-assisted migration models for
+//!   the §7 "Improving live migration efficiency" what-if.
+//!
+//! # Example
+//!
+//! ```
+//! use vmcw_migration::{HostLoad, PrecopyConfig, VmMigrationProfile};
+//!
+//! let config = PrecopyConfig::gigabit();
+//! let vm = VmMigrationProfile::new(8192.0, 200.0, 512.0);
+//! let calm = config.simulate(&vm, HostLoad::new(0.5, 0.6));
+//! assert!(calm.converged);
+//! assert!(calm.downtime_ms < 1000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod mechanisms;
+pub mod precopy;
+pub mod reliability;
+pub mod schedule;
+
+pub use cost::{MigrationCostModel, MigrationCostReport};
+pub use mechanisms::MigrationMechanism;
+pub use precopy::{HostLoad, MigrationOutcome, PrecopyConfig, VmMigrationProfile};
+pub use reliability::{ReliabilityThresholds, ReservationPolicy};
+pub use schedule::{MigrationRequest, MigrationSchedule};

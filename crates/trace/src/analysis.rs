@@ -1,0 +1,223 @@
+//! Workload analysis beyond the basic statistics.
+//!
+//! These are the analyses a consolidation engagement runs before choosing
+//! a strategy (§7: "Our work also establishes the need of a comprehensive
+//! consolidation planning analysis prior to VM consolidation in the
+//! wild"):
+//!
+//! * [`autocorrelation`] — how predictable is a demand series at a given
+//!   lag (24 h autocorrelation is what makes the recent+periodic
+//!   predictor work).
+//! * [`peak_hour_histogram`] — when do servers peak (the raw material of
+//!   peak clustering).
+//! * [`correlation_matrix`] — pairwise Pearson correlation between
+//!   servers.
+//! * [`correlation_stability`] — Observation 5's justification: "we
+//!   believe that one of the primary reason that semi-static
+//!   consolidation performs well is because correlation between
+//!   workloads is stable over time \[27\]". The function compares pairwise
+//!   correlations between two halves of the history.
+
+use crate::series::TimeSeries;
+use crate::stats;
+use crate::workload::HOURS_PER_DAY;
+
+/// Sample autocorrelation of a series at `lag` (in samples).
+///
+/// Returns `None` for series shorter than `lag + 2` samples or with zero
+/// variance.
+#[must_use]
+pub fn autocorrelation(series: &TimeSeries, lag: usize) -> Option<f64> {
+    let v = series.values();
+    if v.len() < lag + 2 {
+        return None;
+    }
+    stats::pearson(&v[..v.len() - lag], &v[lag..])
+}
+
+/// Histogram of each server's most loaded hour of day: `out[h]` counts
+/// the servers whose mean demand peaks at hour `h`.
+///
+/// Series shorter than a day are skipped.
+#[must_use]
+pub fn peak_hour_histogram<'a, I>(series: I) -> [usize; HOURS_PER_DAY]
+where
+    I: IntoIterator<Item = &'a TimeSeries>,
+{
+    let mut out = [0usize; HOURS_PER_DAY];
+    for s in series {
+        if s.len() < HOURS_PER_DAY {
+            continue;
+        }
+        let mut by_hour = [0.0f64; HOURS_PER_DAY];
+        let mut counts = [0usize; HOURS_PER_DAY];
+        for (i, v) in s.iter().enumerate() {
+            by_hour[i % HOURS_PER_DAY] += v;
+            counts[i % HOURS_PER_DAY] += 1;
+        }
+        let peak = (0..HOURS_PER_DAY)
+            .max_by(|&a, &b| {
+                let ma = by_hour[a] / counts[a].max(1) as f64;
+                let mb = by_hour[b] / counts[b].max(1) as f64;
+                ma.partial_cmp(&mb).expect("finite means")
+            })
+            .expect("24 hours");
+        out[peak] += 1;
+    }
+    out
+}
+
+/// Pairwise Pearson correlation matrix of the given series.
+///
+/// Entry `(i, j)` is the correlation between series `i` and `j`;
+/// undefined correlations (constant series) are reported as 0. The matrix
+/// is symmetric with a unit diagonal.
+#[must_use]
+pub fn correlation_matrix(series: &[&TimeSeries]) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in i + 1..n {
+            let r = stats::pearson(series[i].values(), series[j].values()).unwrap_or(0.0);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Measures how stable pairwise correlations are across time.
+///
+/// The series are split at `split` (a sample index); pairwise
+/// correlations are computed independently on both halves and compared.
+/// Returns the Pearson correlation *between the two sets of pairwise
+/// correlations* — 1.0 means the correlation structure is perfectly
+/// stable, ~0 means it is noise.
+///
+/// Returns `None` with fewer than two series or an out-of-range split.
+#[must_use]
+pub fn correlation_stability(series: &[&TimeSeries], split: usize) -> Option<f64> {
+    if series.len() < 2 {
+        return None;
+    }
+    let len = series.iter().map(|s| s.len()).min()?;
+    if split == 0 || split >= len {
+        return None;
+    }
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    for i in 0..series.len() {
+        for j in i + 1..series.len() {
+            let a = stats::pearson(&series[i].values()[..split], &series[j].values()[..split])
+                .unwrap_or(0.0);
+            let b = stats::pearson(
+                &series[i].values()[split..len],
+                &series[j].values()[split..len],
+            )
+            .unwrap_or(0.0);
+            first.push(a);
+            second.push(b);
+        }
+    }
+    stats::pearson(&first, &second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenters::{DataCenterId, GeneratorConfig};
+    use crate::series::StepSecs;
+
+    fn hourly(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(StepSecs::HOUR, values)
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_series_peaks_at_period() {
+        let v: Vec<f64> = (0..240)
+            .map(|h| (h % 24) as f64 + 0.1 * ((h * 7) % 5) as f64)
+            .collect();
+        let s = hourly(v);
+        let ac24 = autocorrelation(&s, 24).unwrap();
+        let ac11 = autocorrelation(&s, 11).unwrap();
+        assert!(ac24 > 0.95, "24h autocorrelation {ac24}");
+        assert!(ac24 > ac11);
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        let s = hourly(vec![1.0, 2.0]);
+        assert!(autocorrelation(&s, 5).is_none());
+        let flat = hourly(vec![3.0; 100]);
+        assert!(autocorrelation(&flat, 1).is_none(), "zero variance");
+    }
+
+    #[test]
+    fn peak_hour_histogram_finds_the_diurnal_peak() {
+        // Two servers peaking at hour 14, one at hour 2.
+        let day_peak: Vec<f64> = (0..72)
+            .map(|h| if h % 24 == 14 { 10.0 } else { 1.0 })
+            .collect();
+        let night_peak: Vec<f64> = (0..72)
+            .map(|h| if h % 24 == 2 { 10.0 } else { 1.0 })
+            .collect();
+        let a = hourly(day_peak.clone());
+        let b = hourly(day_peak);
+        let c = hourly(night_peak);
+        let hist = peak_hour_histogram([&a, &b, &c]);
+        assert_eq!(hist[14], 2);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn peak_hour_histogram_skips_short_series() {
+        let short = hourly(vec![1.0; 5]);
+        let hist = peak_hour_histogram([&short]);
+        assert_eq!(hist.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_with_unit_diagonal() {
+        let a = hourly((0..48).map(f64::from).collect());
+        let b = hourly((0..48).map(|h| f64::from(h) * 2.0).collect());
+        let c = hourly((0..48).map(|h| 48.0 - f64::from(h)).collect());
+        let m = correlation_matrix(&[&a, &b, &c]);
+        assert_eq!(m.len(), 3);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!((m[0][1] - 1.0).abs() < 1e-9, "a and b perfectly correlated");
+        assert!((m[0][2] + 1.0).abs() < 1e-9, "a and c anti-correlated");
+    }
+
+    #[test]
+    fn correlation_structure_of_generated_workloads_is_stable() {
+        // Observation 5's premise, validated on the generator: pairwise
+        // correlations measured on the first half of the month predict
+        // those on the second half.
+        let w = GeneratorConfig::new(DataCenterId::Banking)
+            .scale(0.02)
+            .days(28)
+            .generate(11);
+        let series: Vec<&TimeSeries> = w.servers.iter().map(|s| &s.cpu_used_frac).collect();
+        let stability = correlation_stability(&series, 14 * 24).unwrap();
+        assert!(
+            stability > 0.5,
+            "correlation structure unstable: {stability}"
+        );
+    }
+
+    #[test]
+    fn correlation_stability_edge_cases() {
+        let a = hourly(vec![1.0; 48]);
+        assert!(correlation_stability(&[&a], 24).is_none());
+        let b = hourly(vec![2.0; 48]);
+        assert!(correlation_stability(&[&a, &b], 0).is_none());
+        assert!(correlation_stability(&[&a, &b], 48).is_none());
+    }
+}

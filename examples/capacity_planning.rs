@@ -1,0 +1,65 @@
+//! Capacity planning across all four data centers: how many HS23 blades
+//! does each consolidation strategy need, and what does the sensitivity
+//! to the live-migration reservation look like?
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [-- scale]
+//! ```
+
+use vmcw_repro::core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map_or(0.25, |s| s.parse().expect("scale"));
+    println!(
+        "Consolidation capacity plan at {:.0}% of the paper's populations\n",
+        scale * 100.0
+    );
+    println!(
+        "{:<18} {:>7} {:>9} {:>11} {:>9} | dynamic hosts at utilization bound U",
+        "datacenter", "servers", "vanilla", "stochastic", "dyn@0.8"
+    );
+
+    for dc in DataCenterId::ALL {
+        let config = StudyConfig {
+            scale,
+            ..StudyConfig::paper_baseline(dc, 42)
+        };
+        let study = Study::prepare(&config);
+        let vanilla = study.run(PlannerKind::SemiStatic)?.cost.provisioned_hosts;
+        let stochastic = study.run(PlannerKind::Stochastic)?.cost.provisioned_hosts;
+        let mut sweep = String::new();
+        let mut dyn08 = 0;
+        for bound in [0.7, 0.8, 0.9, 1.0] {
+            let mut cfg = config;
+            cfg.planner = cfg.planner.with_utilization_bound(bound);
+            let hosts = Study::from_workload(&cfg, study.workload().clone())
+                .run(PlannerKind::Dynamic)?
+                .cost
+                .provisioned_hosts;
+            if (bound - 0.8).abs() < 1e-9 {
+                dyn08 = hosts;
+            }
+            sweep.push_str(&format!(" U={bound:.1}:{hosts}"));
+        }
+        println!(
+            "{:<18} {:>7} {:>9} {:>11} {:>9} |{}",
+            dc.industry(),
+            study.workload().servers.len(),
+            vanilla,
+            stochastic,
+            dyn08,
+            sweep,
+        );
+    }
+
+    println!(
+        "\nReading the table (cf. Figs 7 and 13–16): stochastic semi-static\n\
+         consolidation matches or beats dynamic consolidation on footprint as\n\
+         long as dynamic must reserve ~20% of each host for reliable live\n\
+         migration; only with the reservation gone (U=1.0) does fine-grained\n\
+         consolidation pull ahead on the bursty workloads."
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the `vmcw` workspace.
+//!
+//! This crate exists so that the repository root can host runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). All library
+//! functionality lives in the `crates/` workspace members and is re-exported
+//! through [`vmcw_core`].
+
+pub use vmcw_cluster as cluster;
+pub use vmcw_consolidation as consolidation;
+pub use vmcw_core as core;
+pub use vmcw_emulator as emulator;
+pub use vmcw_migration as migration;
+pub use vmcw_trace as trace;

@@ -1,0 +1,56 @@
+//! The extension experiments run end-to-end at reduced scale, and every
+//! registered experiment id resolves.
+
+use vmcw_repro::core::experiments::{
+    run_experiment, Suite, SuiteConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS,
+};
+
+fn suite() -> Suite {
+    Suite::new(SuiteConfig {
+        scale: 0.04,
+        seed: 3,
+        history_days: 8,
+        eval_days: 4,
+    })
+}
+
+#[test]
+fn every_registered_experiment_runs() {
+    let mut suite = suite();
+    for id in ALL_EXPERIMENTS.iter().chain(EXTENSION_EXPERIMENTS.iter()) {
+        let tables = run_experiment(id, &mut suite).unwrap_or_else(|e| {
+            panic!("experiment {id} failed: {e}");
+        });
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            // fig9 may legitimately be empty at tiny scale (no contention).
+            if *id != "fig9" {
+                assert!(!t.is_empty(), "{id}/{} produced no rows", t.name);
+            }
+            assert!(!t.columns.is_empty());
+        }
+    }
+    // The sensitivity pseudo-id expands to four tables.
+    let sens = run_experiment("sensitivity", &mut suite).unwrap();
+    assert_eq!(sens.len(), 4);
+}
+
+#[test]
+fn csvs_are_parseable_back() {
+    // Round-trip sanity: every produced CSV has a rectangular shape.
+    let mut suite = suite();
+    for id in ["fig7", "intervals", "stability", "constraints"] {
+        for t in run_experiment(id, &mut suite).unwrap() {
+            let csv = t.to_csv();
+            let mut lines = csv.lines();
+            let header_cols = lines.next().unwrap().split(',').count();
+            for line in lines {
+                assert_eq!(
+                    line.split(',').count(),
+                    header_cols,
+                    "{id}: ragged CSV row `{line}`"
+                );
+            }
+        }
+    }
+}
