@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's bench targets compiling and runnable without the
+//! real crate: each benchmark body executes once and its wall-clock time
+//! is printed. No statistics, warm-up, or reports — this is a smoke
+//! harness, not a measurement tool. Swap the real criterion back in via
+//! the workspace manifest to take actual measurements.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function label and a parameter, `label/param`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs benchmark bodies; `iter` executes the closure once.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Runs `body` once, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        let out = body();
+        let elapsed = start.elapsed();
+        drop(out);
+        println!("    1 iter in {elapsed:?} (offline criterion stub)");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is not configurable here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; timing budget is ignored.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+        -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{}", self.name, id.label);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {}/{}", self.name, id.label);
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Ends the group (no-op; reports are not generated).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<S: Display, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {name}");
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Accepted for API compatibility with generated `criterion_group!`
+    /// code; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("unit"), &(), |b, ()| {
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| "x".repeat(3)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_every_shape_used_by_the_workspace() {
+        benches();
+    }
+}

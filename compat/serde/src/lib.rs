@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Hermetic build environments cannot download crates, and this workspace
+//! uses serde purely as `#[derive(Serialize, Deserialize)]` markers (no
+//! serializer is ever instantiated). The traits here are blanket-
+//! implemented for every type, and the re-exported derive macros expand
+//! to nothing, so `use serde::{Deserialize, Serialize};` plus the derives
+//! compile unchanged. Swapping the real serde back in is a one-line
+//! change in the workspace manifest.
+
+/// Marker for serialisable types. Blanket-implemented: with no runtime
+/// serialiser in the workspace the bound is vacuous.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types, mirroring serde's lifetime parameter.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` for code that names the module.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

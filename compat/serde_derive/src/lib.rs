@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde` ecosystem is unavailable in hermetic build
+//! environments (no network, no vendored registry). This repo only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker — nothing serialises
+//! at runtime — so the derives expand to nothing and the sibling `serde`
+//! stub provides blanket trait impls instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` stub blanket-implements the
+/// trait for every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` stub blanket-implements the
+/// trait for every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

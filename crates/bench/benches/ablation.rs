@@ -184,11 +184,11 @@ fn ablate_power_curve(c: &mut Criterion) {
             dc.provision();
         }
         plan.dc = dc;
-        let kwh = emulate(&input, &plan, &EmulatorConfig::default()).energy_kwh;
+        let kwh = emulate(&input, &plan, &EmulatorConfig::default()).expect("emulation").energy_kwh;
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{label}->{kwh:.0}kwh")),
             &plan,
-            |b, plan| b.iter(|| black_box(emulate(&input, plan, &EmulatorConfig::default()))),
+            |b, plan| b.iter(|| black_box(emulate(&input, plan, &EmulatorConfig::default()).expect("emulation"))),
         );
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_emulate(c: &mut Criterion) {
         let input = bench_input(DataCenterId::Beverage, 0.2, 10, 7, 42);
         let plan = Planner::baseline().plan(kind, &input).expect("plan");
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
-            b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default())));
+            b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default()).expect("emulation")));
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn bench_emulate_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{days}days")),
             &(),
             |b, ()| {
-                b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default())));
+                b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default()).expect("emulation")));
             },
         );
     }

@@ -29,7 +29,8 @@ usage:
   vmcw plan <trace.csv> [--dc NAME] [--history-days N] [--planner all|semi-static|stochastic|dynamic] [--bound F]
   vmcw compare <trace.csv> [--dc NAME] [--history-days N]
   vmcw drain <trace.csv> --host N [--dc NAME] [--history-days N] [--fabric 1gbe|10gbe]
-  vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]";
+  vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]
+  vmcw faults <trace.csv> [--dc NAME] [--history-days N] [--seed N] [--mtbf H] [--mttr H] [--mig-fail F] [--dropout F] [--thresholds on|off]";
 
 fn parse_dc(name: &str) -> Result<DataCenterId, String> {
     match name.to_ascii_lowercase().as_str() {
@@ -77,6 +78,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "drain" => cmd_drain(rest),
         "estate" => cmd_estate(rest),
+        "faults" => cmd_faults(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -380,6 +382,80 @@ fn cmd_estate(args: &[String]) -> Result<(), String> {
         }
         Err(e) => Err(e.to_string()),
     }
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    use vmcw_emulator::FaultConfig;
+    let args = parse_args(args)?;
+    let w = load_trace(&args)?;
+    let history_days = history_days_for(&args, w.days)?;
+    let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
+        v.parse().map_err(|e| format!("bad --seed: {e}"))
+    })?;
+    let mut faults = FaultConfig::baseline(seed);
+    let float_flag = |name: &str, slot: &mut f64| -> Result<(), String> {
+        if let Some(v) = args.flags.get(name) {
+            *slot = v.parse().map_err(|e| format!("bad --{name}: {e}"))?;
+        }
+        Ok(())
+    };
+    float_flag("mtbf", &mut faults.host_mtbf_hours)?;
+    float_flag("mttr", &mut faults.host_mttr_hours)?;
+    float_flag("mig-fail", &mut faults.migration_failure_prob)?;
+    float_flag("dropout", &mut faults.trace_dropout_prob)?;
+    faults.enforce_reliability_thresholds =
+        match args.flags.get("thresholds").map_or("on", String::as_str) {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("bad --thresholds `{other}` (want on|off)")),
+        };
+    faults.validate().map_err(|e| e.to_string())?;
+
+    let config = StudyConfig {
+        history_days,
+        eval_days: w.days - history_days,
+        ..StudyConfig::paper_baseline(w.dc, 0)
+    };
+    let study = Study::from_workload(&config, w);
+    println!(
+        "fault replay: seed {seed}, MTBF {:.0}h, MTTR {:.0}h, migration failure {:.1}%, dropout {:.1}%\n\
+         same seed => same fault timeline for every planner\n",
+        faults.host_mtbf_hours,
+        faults.host_mttr_hours,
+        faults.migration_failure_prob * 100.0,
+        faults.trace_dropout_prob * 100.0,
+    );
+    println!(
+        "{:<12} {:>7} {:>11} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10} {:>7}",
+        "planner",
+        "hosts",
+        "energy_kwh",
+        "crashes",
+        "evacs",
+        "down_vm_h",
+        "mig_fail",
+        "retries",
+        "abandoned",
+        "stale_h"
+    );
+    for kind in PlannerKind::EVALUATED {
+        let run = study.run_faulted(kind, &faults).map_err(|e| e.to_string())?;
+        let f = run.report.faults;
+        println!(
+            "{:<12} {:>7} {:>11.1} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10} {:>7}",
+            kind.label(),
+            run.cost.provisioned_hosts,
+            run.cost.energy_kwh,
+            f.host_crashes,
+            f.evacuations,
+            f.downtime_vm_hours,
+            f.failed_migrations,
+            f.retried_migrations,
+            f.abandoned_migrations,
+            f.stale_sample_hours,
+        );
+    }
+    Ok(())
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {

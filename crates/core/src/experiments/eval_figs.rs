@@ -2,7 +2,7 @@
 
 use super::Suite;
 use crate::render::{fnum, Table};
-use vmcw_consolidation::placement::PackError;
+use crate::study::StudyError;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_emulator::report;
 use vmcw_trace::datacenters::DataCenterId;
@@ -31,8 +31,8 @@ pub fn table3(suite: &Suite) -> Table {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn fig7(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn fig7(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new(
         "fig7",
         &[
@@ -67,8 +67,8 @@ pub fn fig7(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn fig8(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn fig8(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new(
         "fig8",
         &["datacenter", "planner", "contention_time_fraction"],
@@ -91,8 +91,8 @@ pub fn fig8(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planner.
-pub fn fig9(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planner.
+pub fn fig9(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new("fig9", &["datacenter", "contention", "cdf"]);
     for dc in DataCenterId::ALL {
         let run = suite.run(dc, PlannerKind::Dynamic)?;
@@ -111,7 +111,7 @@ fn util_cdf_table(
     name: &str,
     suite: &mut Suite,
     extract: fn(&vmcw_emulator::engine::EmulationReport) -> Cdf,
-) -> Result<Table, PackError> {
+) -> Result<Table, StudyError> {
     let mut t = Table::new(name, &["datacenter", "planner", "cpu_util", "cdf"]);
     for dc in DataCenterId::ALL {
         for kind in PlannerKind::EVALUATED {
@@ -134,8 +134,8 @@ fn util_cdf_table(
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn fig10(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn fig10(suite: &mut Suite) -> Result<Table, StudyError> {
     util_cdf_table("fig10", suite, report::avg_util_cdf)
 }
 
@@ -144,8 +144,8 @@ pub fn fig10(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn fig11(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn fig11(suite: &mut Suite) -> Result<Table, StudyError> {
     util_cdf_table("fig11", suite, report::peak_util_cdf)
 }
 
@@ -154,8 +154,8 @@ pub fn fig11(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planner.
-pub fn fig12(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planner.
+pub fn fig12(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new("fig12", &["datacenter", "running_fraction", "cdf"]);
     for dc in DataCenterId::ALL {
         let run = suite.run(dc, PlannerKind::Dynamic)?;

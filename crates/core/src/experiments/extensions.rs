@@ -16,7 +16,7 @@ use crate::render::{fnum, Table};
 use vmcw_cluster::constraints::{Constraint, ConstraintSet};
 use vmcw_cluster::datacenter::SubnetId;
 use vmcw_cluster::vm::VmId;
-use vmcw_consolidation::placement::PackError;
+use crate::study::StudyError;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_migration::mechanisms::MigrationMechanism;
 use vmcw_migration::precopy::{PrecopyConfig, VmMigrationProfile};
@@ -38,8 +38,8 @@ pub const INTERVAL_HOURS: [usize; 4] = [1, 2, 4, 6];
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planner.
-pub fn interval_sweep(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planner.
+pub fn interval_sweep(suite: &mut Suite) -> Result<Table, StudyError> {
     let study = suite.study(DataCenterId::Banking).clone();
     let mut t = Table::new(
         "intervals",
@@ -109,8 +109,8 @@ pub fn interval_sweep(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn future_mechanisms(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn future_mechanisms(suite: &mut Suite) -> Result<Table, StudyError> {
     let stochastic = suite
         .run(DataCenterId::Banking, PlannerKind::Stochastic)?
         .cost;
@@ -202,8 +202,8 @@ pub fn correlation_stability_experiment(suite: &mut Suite) -> Table {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn constraint_cost(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn constraint_cost(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new(
         "constraints",
         &[
@@ -258,8 +258,8 @@ pub fn constraint_cost(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn timeline(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn timeline(suite: &mut Suite) -> Result<Table, StudyError> {
     let mut t = Table::new(
         "timeline",
         &[
@@ -294,8 +294,8 @@ pub fn timeline(suite: &mut Suite) -> Result<Table, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn rolling_sweep(suite: &mut Suite) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn rolling_sweep(suite: &mut Suite) -> Result<Table, StudyError> {
     let study = suite.study(DataCenterId::Banking).clone();
     let semi = suite
         .run(DataCenterId::Banking, PlannerKind::SemiStatic)?
@@ -315,7 +315,8 @@ pub fn rolling_sweep(suite: &mut Suite) -> Result<Table, PackError> {
             .config()
             .planner
             .plan_semi_static_rolling(study.input(), period)?;
-        let report = vmcw_emulator::engine::emulate(study.input(), &plan, &study.config().emulator);
+        let report =
+            vmcw_emulator::engine::emulate(study.input(), &plan, &study.config().emulator)?;
         t.push_row([
             period.to_string(),
             plan.provisioned_hosts().to_string(),

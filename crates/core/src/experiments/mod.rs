@@ -45,10 +45,9 @@ pub use summary::{check_claims, reproduction_summary, Claim};
 pub use workload_figs::{fig1, fig2, fig3, fig4, fig5, fig6, table1, table2};
 
 use crate::render::Table;
-use crate::study::{Study, StudyConfig, StudyRun};
+use crate::study::{Study, StudyConfig, StudyError, StudyRun};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use vmcw_consolidation::placement::PackError;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_trace::datacenters::DataCenterId;
 
@@ -141,8 +140,8 @@ impl Suite {
     ///
     /// # Errors
     ///
-    /// Propagates [`PackError`] from the planner.
-    pub fn run(&mut self, dc: DataCenterId, kind: PlannerKind) -> Result<&StudyRun, PackError> {
+    /// Propagates [`StudyError`] from the study (planner or emulator).
+    pub fn run(&mut self, dc: DataCenterId, kind: PlannerKind) -> Result<&StudyRun, StudyError> {
         if !self.runs.contains_key(&(dc, kind)) {
             let run = self.study(dc).run(kind)?;
             self.runs.insert((dc, kind), run);
@@ -193,10 +192,10 @@ pub const EXTENSION_EXPERIMENTS: [&str; 6] = [
 ///
 /// # Errors
 ///
-/// Returns a planner [`PackError`] (wrapped in a `String` for uniformity)
+/// Returns a [`StudyError`] (wrapped in a `String` for uniformity)
 /// or an unknown-id error.
 pub fn run_experiment(id: &str, suite: &mut Suite) -> Result<Vec<Table>, String> {
-    let map_err = |e: PackError| e.to_string();
+    let map_err = |e: StudyError| e.to_string();
     match id {
         "table1" => Ok(vec![table1()]),
         "table2" => Ok(vec![table2(suite)]),

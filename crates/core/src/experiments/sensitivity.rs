@@ -7,7 +7,7 @@
 
 use super::Suite;
 use crate::render::Table;
-use vmcw_consolidation::placement::PackError;
+use crate::study::StudyError;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_trace::datacenters::DataCenterId;
 
@@ -28,8 +28,8 @@ fn figure_name(dc: DataCenterId) -> &'static str {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn sensitivity(suite: &mut Suite, dc: DataCenterId) -> Result<Table, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn sensitivity(suite: &mut Suite, dc: DataCenterId) -> Result<Table, StudyError> {
     let semi = suite
         .run(dc, PlannerKind::SemiStatic)?
         .cost

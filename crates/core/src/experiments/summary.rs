@@ -8,7 +8,7 @@
 use super::Suite;
 use crate::render::fnum;
 use std::fmt::Write as _;
-use vmcw_consolidation::placement::PackError;
+use crate::study::StudyError;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_emulator::report;
 use vmcw_trace::datacenters::DataCenterId;
@@ -35,8 +35,8 @@ fn frac_above(samples: &[f64], x: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn check_claims(suite: &mut Suite) -> Result<Vec<Claim>, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn check_claims(suite: &mut Suite) -> Result<Vec<Claim>, StudyError> {
     let mut claims = Vec::new();
     let history_hours = suite.config().history_days * 24;
 
@@ -205,8 +205,8 @@ pub fn check_claims(suite: &mut Suite) -> Result<Vec<Claim>, PackError> {
 ///
 /// # Errors
 ///
-/// Propagates [`PackError`] from the planners.
-pub fn reproduction_summary(suite: &mut Suite) -> Result<String, PackError> {
+/// Propagates [`StudyError`] from the planners.
+pub fn reproduction_summary(suite: &mut Suite) -> Result<String, StudyError> {
     let claims = check_claims(suite)?;
     let passed = claims.iter().filter(|c| c.holds).count();
     let cfg = suite.config();

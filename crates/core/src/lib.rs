@@ -21,7 +21,7 @@
 //! let study = Study::prepare(&config);
 //! let run = study.run(PlannerKind::Stochastic)?;
 //! assert!(run.cost.provisioned_hosts > 0);
-//! # Ok::<(), vmcw_consolidation::PackError>(())
+//! # Ok::<(), vmcw_core::study::StudyError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,7 +40,7 @@ pub use vmcw_trace as trace;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::render::Table;
-    pub use crate::study::{Study, StudyConfig, StudyRun};
+    pub use crate::study::{Study, StudyConfig, StudyError, StudyRun};
     pub use vmcw_cluster::cost::FacilityCostModel;
     pub use vmcw_cluster::server::ServerModel;
     pub use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};

@@ -6,13 +6,49 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use vmcw_cluster::cost::FacilityCostModel;
 use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};
 use vmcw_consolidation::placement::PackError;
 use vmcw_consolidation::planner::{ConsolidationPlan, Planner, PlannerKind};
-use vmcw_emulator::engine::{emulate, EmulationReport, EmulatorConfig};
+use vmcw_emulator::engine::{emulate, emulate_with_faults, EmulationReport, EmulatorConfig};
+use vmcw_emulator::engine::EmulatorError;
+use vmcw_emulator::faults::FaultConfig;
 use vmcw_emulator::report::{cost_summary, CostSummary};
 use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
+
+/// Errors a study can produce: planning or replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// The planner failed to pack the VMs.
+    Pack(PackError),
+    /// The emulator rejected the plan or its fault configuration.
+    Emulator(EmulatorError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Pack(e) => e.fmt(f),
+            StudyError::Emulator(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for StudyError {}
+
+impl From<PackError> for StudyError {
+    fn from(e: PackError) -> Self {
+        StudyError::Pack(e)
+    }
+}
+
+impl From<EmulatorError> for StudyError {
+    fn from(e: EmulatorError) -> Self {
+        StudyError::Emulator(e)
+    }
+}
 
 /// Configuration of one study.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -145,10 +181,35 @@ impl Study {
     ///
     /// # Errors
     ///
-    /// Propagates [`PackError`] from the planner.
-    pub fn run(&self, kind: PlannerKind) -> Result<StudyRun, PackError> {
+    /// Propagates [`PackError`] from the planner and [`EmulatorError`]
+    /// from the replay.
+    pub fn run(&self, kind: PlannerKind) -> Result<StudyRun, StudyError> {
         let plan = self.config.planner.plan(kind, &self.input)?;
-        let report = emulate(&self.input, &plan, &self.config.emulator);
+        let report = emulate(&self.input, &plan, &self.config.emulator)?;
+        let cost = cost_summary(&report, &self.config.cost_model);
+        Ok(StudyRun {
+            kind,
+            plan,
+            report,
+            cost,
+        })
+    }
+
+    /// Plans with `kind` and replays the evaluation window under fault
+    /// injection. Runs sharing `faults.seed` face the identical fault
+    /// timeline, so ledgers are comparable across planners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackError`] from the planner and [`EmulatorError`]
+    /// from the faulted replay.
+    pub fn run_faulted(
+        &self,
+        kind: PlannerKind,
+        faults: &FaultConfig,
+    ) -> Result<StudyRun, StudyError> {
+        let plan = self.config.planner.plan(kind, &self.input)?;
+        let report = emulate_with_faults(&self.input, &plan, &self.config.emulator, faults)?;
         let cost = cost_summary(&report, &self.config.cost_model);
         Ok(StudyRun {
             kind,
@@ -163,8 +224,8 @@ impl Study {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`PackError`].
-    pub fn run_evaluated(&self) -> Result<BTreeMap<&'static str, StudyRun>, PackError> {
+    /// Propagates the first [`StudyError`].
+    pub fn run_evaluated(&self) -> Result<BTreeMap<&'static str, StudyRun>, StudyError> {
         PlannerKind::EVALUATED
             .iter()
             .map(|&k| Ok((k.label(), self.run(k)?)))
@@ -218,8 +279,8 @@ pub struct ComparisonRow {
 ///
 /// # Errors
 ///
-/// Propagates the first [`PackError`].
-pub fn compare(study: &Study, scenarios: &[Scenario]) -> Result<Vec<ComparisonRow>, PackError> {
+/// Propagates the first [`StudyError`].
+pub fn compare(study: &Study, scenarios: &[Scenario]) -> Result<Vec<ComparisonRow>, StudyError> {
     scenarios
         .iter()
         .map(|s| {
@@ -313,6 +374,28 @@ mod tests {
         assert!(rows[1].migrations > 0);
         // Removing the reservation never increases the footprint.
         assert!(rows[2].hosts <= rows[1].hosts);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_zero_rate_matches_plain() {
+        use vmcw_emulator::faults::FaultConfig;
+        let study = quick(DataCenterId::Banking);
+        // Zero-rate fault replay reproduces the plain run bit-for-bit.
+        let plain = study.run(PlannerKind::Dynamic).unwrap();
+        let zero = study
+            .run_faulted(PlannerKind::Dynamic, &FaultConfig::disabled())
+            .unwrap();
+        assert_eq!(plain.report, zero.report);
+        // A faulted run is reproducible from its seed.
+        let faults = FaultConfig::baseline(9);
+        let a = study.run_faulted(PlannerKind::Dynamic, &faults).unwrap();
+        let b = study.run_faulted(PlannerKind::Dynamic, &faults).unwrap();
+        assert_eq!(a.report, b.report);
+        // All planners run under the same fault schedule.
+        for kind in PlannerKind::EVALUATED {
+            let run = study.run_faulted(kind, &faults).unwrap();
+            assert_eq!(run.report.hours, 5 * 24);
+        }
     }
 
     #[test]

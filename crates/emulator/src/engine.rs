@@ -8,11 +8,72 @@
 //! that can not be met within the server's capacity" (§5.3).
 
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
 use vmcw_cluster::datacenter::HostId;
 use vmcw_cluster::resources::Resources;
-use vmcw_consolidation::input::PlanningInput;
+use vmcw_cluster::vm::VmId;
+use vmcw_consolidation::drain::plan_drain;
+use vmcw_consolidation::input::{PlanningInput, VmTrace};
+use vmcw_consolidation::placement::Placement;
 use vmcw_consolidation::planner::ConsolidationPlan;
+use vmcw_migration::precopy::{HostLoad, PrecopyConfig, VmMigrationProfile};
 use vmcw_migration::reliability::ReliabilityThresholds;
+
+use crate::faults::{
+    migration_attempt_fails, sample_dropped, CrashSchedule, FaultConfig, FaultLedger,
+    TraceGapError, TraceGapReason,
+};
+
+/// Errors the replay engine can return instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmulatorError {
+    /// A placed VM has no demand trace in the planning input.
+    MissingTrace {
+        /// The traceless VM.
+        vm: VmId,
+    },
+    /// The plan references a host its data center does not provision.
+    UnknownHost {
+        /// The unprovisioned host.
+        host: HostId,
+    },
+    /// A trace gap could not be survived by holding the last good value.
+    TraceGap(TraceGapError),
+    /// A fault-injection parameter is NaN or outside its domain.
+    InvalidFaultConfig {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EmulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmulatorError::MissingTrace { vm } => {
+                write!(f, "placed VM {vm} has no demand trace")
+            }
+            EmulatorError::UnknownHost { host } => {
+                write!(f, "plan references unprovisioned host {host}")
+            }
+            EmulatorError::TraceGap(gap) => gap.fmt(f),
+            EmulatorError::InvalidFaultConfig { field, value } => {
+                write!(f, "invalid fault config: {field} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for EmulatorError {}
+
+impl From<TraceGapError> for EmulatorError {
+    fn from(gap: TraceGapError) -> Self {
+        EmulatorError::TraceGap(gap)
+    }
+}
 
 /// Emulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +158,9 @@ pub struct EmulationReport {
     pub migrations: usize,
     /// Of those, how many failed to converge.
     pub failed_migrations: usize,
+    /// Tally of injected faults survived during replay (all zeros when
+    /// replaying without fault injection).
+    pub faults: FaultLedger,
 }
 
 /// Per-consolidation-interval aggregate (the paper reports most
@@ -161,21 +225,77 @@ impl EmulationReport {
 
 /// Replays the evaluation window of `input` against `plan`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the plan references hosts missing from its data center.
-#[must_use]
+/// Returns [`EmulatorError`] if the plan references hosts missing from
+/// its data center or places a VM without a trace.
 pub fn emulate(
     input: &PlanningInput,
     plan: &ConsolidationPlan,
     config: &EmulatorConfig,
-) -> EmulationReport {
+) -> Result<EmulationReport, EmulatorError> {
+    replay(input, plan, config, None)
+}
+
+/// Replays the evaluation window with seeded fault injection: host
+/// crashes with HA evacuation, migration failures with bounded retry,
+/// and trace dropouts survived by last-good-value hold.
+///
+/// Runs sharing `faults.seed` see the *same* fault timeline regardless
+/// of planner, so the resulting [`FaultLedger`]s are directly
+/// comparable. With every fault rate zero the output is bit-identical
+/// to [`emulate`].
+///
+/// # Errors
+///
+/// Returns [`EmulatorError`] for invalid fault configs, structural plan
+/// errors, or trace gaps that exceed the staleness budget.
+pub fn emulate_with_faults(
+    input: &PlanningInput,
+    plan: &ConsolidationPlan,
+    config: &EmulatorConfig,
+    faults: &FaultConfig,
+) -> Result<EmulationReport, EmulatorError> {
+    faults.validate()?;
+    replay(input, plan, config, Some(faults))
+}
+
+/// Mutable fault-replay state mutated between hours (crash bookkeeping,
+/// migration chasing, evacuation). Sample-survival state lives outside so
+/// the demand loop can hold `current` immutably while updating it.
+struct FaultState {
+    schedule: CrashSchedule,
+    /// The placement actually in effect, chasing the plan's target
+    /// placement through (possibly failing) migrations.
+    current: Placement,
+    was_down: Vec<bool>,
+    /// VMs resident on a crashed host, awaiting evacuation or repair.
+    down_vms: BTreeSet<VmId>,
+    precopy: PrecopyConfig,
+}
+
+fn replay(
+    input: &PlanningInput,
+    plan: &ConsolidationPlan,
+    config: &EmulatorConfig,
+    faults: Option<&FaultConfig>,
+) -> Result<EmulationReport, EmulatorError> {
     let eval = input.eval_range();
     let hours = eval.len();
     let n_hosts = plan.dc.len();
     // Per-host capacities: heterogeneous pools are supported; the
     // homogeneous paper-scale studies see identical values everywhere.
     let capacities: Vec<Resources> = plan.dc.iter().map(|h| h.model.capacity()).collect();
+    let mut ledger = FaultLedger::default();
+    let mut state: Option<FaultState> = faults.map(|f| FaultState {
+        schedule: CrashSchedule::generate(f, n_hosts, hours),
+        current: plan.placements.at_hour(0).clone(),
+        was_down: vec![false; n_hosts],
+        down_vms: BTreeSet::new(),
+        precopy: PrecopyConfig::gigabit(),
+    });
+    // Per-VM last good sample and its staleness, for dropout survival.
+    let mut last_good: BTreeMap<VmId, (Resources, usize)> = BTreeMap::new();
 
     struct HostAcc {
         active_hours: usize,
@@ -200,9 +320,19 @@ pub fn emulate(
     let mut per_hour = Vec::with_capacity(hours);
     let mut energy_wh = 0.0;
     let mut cpu_contention_samples = Vec::new();
+    let mut prev_target: *const Placement = std::ptr::null();
 
     for h in 0..hours {
-        let placement = plan.placements.at_hour(h);
+        let target = plan.placements.at_hour(h);
+        let boundary = !std::ptr::eq(prev_target, target);
+        prev_target = target;
+        if let (Some(fcfg), Some(st)) = (faults, state.as_mut()) {
+            step_faults(
+                input, plan, config, fcfg, st, target, boundary, h, &capacities, &mut ledger,
+            );
+        }
+        let state = state.as_ref();
+        let placement: &Placement = state.map_or(target, |st| &st.current);
         let mut active_hosts = 0;
         let mut watts = 0.0;
         let mut contended_hosts = 0;
@@ -210,23 +340,41 @@ pub fn emulate(
         let mut mem_cont_total = 0.0;
 
         for host in placement.active_hosts() {
+            if let Some(st) = state {
+                // Crashed hosts serve nothing and draw no power; their
+                // VMs accrued downtime in step_faults.
+                if st.schedule.is_down(host, h) {
+                    continue;
+                }
+            }
             let vms = placement.vms_on(host);
             debug_assert!(!vms.is_empty());
             let mut demand = Resources::ZERO;
             for &vm in vms {
-                let t = input.vm_trace(vm).expect("placed VM has a trace");
-                demand += t.demand_at(eval.start + h);
+                let t = input.vm_trace(vm).ok_or(EmulatorError::MissingTrace { vm })?;
+                let sample = t.demand_at(eval.start + h);
+                let sample = match faults {
+                    Some(fcfg) => {
+                        survive_sample(fcfg, &mut last_good, t, vm, h, eval.start, sample, &mut ledger)?
+                    }
+                    None => sample,
+                };
+                demand += sample;
             }
             if vms.len() > 1 && config.dedup_savings_frac > 0.0 {
                 demand.mem_mb *= 1.0 - config.dedup_savings_frac;
             }
-            let capacity = capacities[host.0 as usize];
+            let capacity = *capacities
+                .get(host.0 as usize)
+                .ok_or(EmulatorError::UnknownHost { host })?;
             let cpu_util = demand.cpu_rpe2 / capacity.cpu_rpe2;
             let mem_util = demand.mem_mb / capacity.mem_mb;
             let cpu_cont = (cpu_util - 1.0).max(0.0);
             let mem_cont = (mem_util - 1.0).max(0.0);
 
-            let acc = &mut accs[host.0 as usize];
+            let acc = accs
+                .get_mut(host.0 as usize)
+                .ok_or(EmulatorError::UnknownHost { host })?;
             acc.active_hours += 1;
             acc.cpu_util_sum += cpu_util;
             acc.mem_util_sum += mem_util;
@@ -250,7 +398,7 @@ pub fn emulate(
             let host_watts = plan
                 .dc
                 .host(host)
-                .expect("plan host exists")
+                .ok_or(EmulatorError::UnknownHost { host })?
                 .model
                 .power
                 .watts_at(cpu_util);
@@ -293,7 +441,7 @@ pub fn emulate(
         })
         .collect();
 
-    EmulationReport {
+    Ok(EmulationReport {
         planner: plan.kind,
         hours,
         provisioned_hosts: n_hosts,
@@ -303,6 +451,217 @@ pub fn emulate(
         cpu_contention_samples,
         migrations: plan.migrations.len(),
         failed_migrations: plan.migrations.iter().filter(|m| !m.converged).count(),
+        faults: ledger,
+    })
+}
+
+/// Advances the fault state to hour `h`: crash onsets and recoveries,
+/// boundary migration syncing with failure injection and retry, HA
+/// evacuation of crashed hosts, and downtime accrual.
+#[allow(clippy::too_many_arguments)]
+fn step_faults(
+    input: &PlanningInput,
+    plan: &ConsolidationPlan,
+    config: &EmulatorConfig,
+    fcfg: &FaultConfig,
+    st: &mut FaultState,
+    target: &Placement,
+    boundary: bool,
+    h: usize,
+    capacities: &[Resources],
+    ledger: &mut FaultLedger,
+) {
+    let eval_start = input.eval_range().start;
+    let demand_of = |vm: VmId| -> Resources {
+        input
+            .vm_trace(vm)
+            .map_or(Resources::ZERO, |t| t.demand_at(eval_start + h))
+    };
+
+    // 1. Crash onsets and recoveries. On a crash the host's VMs go down
+    //    but stay resident (awaiting evacuation); on repair any VM still
+    //    resident comes back up in place.
+    for i in 0..st.was_down.len() {
+        let host = HostId(i as u32);
+        let down_now = st.schedule.is_down(host, h);
+        if down_now && !st.was_down[i] {
+            ledger.host_crashes += 1;
+            for &vm in st.current.vms_on(host) {
+                st.down_vms.insert(vm);
+            }
+        } else if !down_now && st.was_down[i] {
+            for &vm in st.current.vms_on(host) {
+                st.down_vms.remove(&vm);
+            }
+        }
+        st.was_down[i] = down_now;
+    }
+
+    // 2. At interval boundaries, chase the plan's target placement.
+    //    Each requested move can fail by injection or by violating the
+    //    reliability thresholds; failures retry under the backoff policy
+    //    and abandoned moves leave the VM on its source until the next
+    //    boundary re-requests them.
+    if boundary {
+        let mut clean = true;
+        for (vm, from, to) in st.current.moved_vms(target) {
+            if st.down_vms.contains(&vm)
+                || st.schedule.is_down(from, h)
+                || st.schedule.is_down(to, h)
+            {
+                // Cannot even start: endpoint or VM is down. Deferred.
+                clean = false;
+                continue;
+            }
+            let violates = fcfg.enforce_reliability_thresholds && {
+                let load_of = |host: HostId| -> HostLoad {
+                    let cap = capacities
+                        .get(host.0 as usize)
+                        .copied()
+                        .unwrap_or(Resources::new(1.0, 1.0));
+                    let d = st.current.demand_on(host, demand_of);
+                    HostLoad::new(d.cpu_rpe2 / cap.cpu_rpe2, d.mem_mb / cap.mem_mb)
+                };
+                !config.thresholds.is_reliable(load_of(from))
+                    || !config.thresholds.is_reliable(load_of(to))
+            };
+            let demand = demand_of(vm);
+            let cap = capacities
+                .get(from.0 as usize)
+                .copied()
+                .unwrap_or(Resources::new(1.0, 1.0));
+            let profile = VmMigrationProfile::from_demand(
+                demand.mem_mb,
+                (demand.cpu_rpe2 / cap.cpu_rpe2).clamp(0.0, 1.0),
+            );
+            let src_load = {
+                let d = st.current.demand_on(from, demand_of);
+                HostLoad::new(d.cpu_rpe2 / cap.cpu_rpe2, d.mem_mb / cap.mem_mb)
+            };
+            let duration = st.precopy.simulate(&profile, src_load).total_secs;
+            let outcome = fcfg.retry.run(duration, |attempt| {
+                violates || migration_attempt_fails(fcfg, vm, h, attempt)
+            });
+            ledger.failed_migrations += outcome.failed_attempts() as usize;
+            if outcome.attempts > 1 {
+                ledger.retried_migrations += 1;
+            }
+            if outcome.succeeded {
+                st.current.assign(vm, to);
+            } else {
+                ledger.abandoned_migrations += 1;
+                clean = false;
+            }
+        }
+        if clean && st.down_vms.is_empty() {
+            // Fully synced: snap to the target so the in-effect placement
+            // is *identical* (including iteration order) to the plan's —
+            // this is what makes zero-rate replay bit-identical.
+            st.current = target.clone();
+        }
+    }
+
+    // 3. HA evacuation: drain each crashed host that still holds down
+    //    VMs through the consolidation drain path. Failure (typically
+    //    NoCapacity) just leaves the VMs down; we retry next hour and the
+    //    MTTR bounds the wait.
+    if !st.down_vms.is_empty() {
+        let down_hosts: Vec<HostId> = (0..st.was_down.len())
+            .filter(|&i| st.was_down[i])
+            .map(|i| HostId(i as u32))
+            .collect();
+        for &host in &down_hosts {
+            if !st.current.vms_on(host).iter().any(|v| st.down_vms.contains(v)) {
+                continue;
+            }
+            // Other crashed hosts must be invisible to the drain's
+            // destination search: hide their residents.
+            let mut visible = st.current.clone();
+            for &other in &down_hosts {
+                if other == host {
+                    continue;
+                }
+                for vm in visible.vms_on(other).to_vec() {
+                    visible.remove(vm);
+                }
+            }
+            if let Ok(dp) = plan_drain(
+                input,
+                &visible,
+                host,
+                &plan.dc,
+                h,
+                fcfg.evacuation_bounds,
+                &st.precopy,
+            ) {
+                for (vm, dest) in dp.moves {
+                    st.current.assign(vm, dest);
+                    if st.down_vms.remove(&vm) {
+                        ledger.evacuations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. VMs still down at the end of the hour accrue downtime.
+    ledger.downtime_vm_hours += st.down_vms.len();
+}
+
+/// Survives one (possibly missing) hourly sample: injected dropouts and
+/// NaN samples are replaced by the VM's last good value, tracking
+/// staleness against the configured budget. The hour immediately before
+/// the evaluation window seeds the hold for gaps at hour 0.
+#[allow(clippy::too_many_arguments)]
+fn survive_sample(
+    fcfg: &FaultConfig,
+    last_good: &mut BTreeMap<VmId, (Resources, usize)>,
+    trace: &VmTrace,
+    vm: VmId,
+    h: usize,
+    eval_start: usize,
+    sample: Resources,
+    ledger: &mut FaultLedger,
+) -> Result<Resources, EmulatorError> {
+    let missing =
+        sample.cpu_rpe2.is_nan() || sample.mem_mb.is_nan() || sample_dropped(fcfg, vm, h);
+    if !missing {
+        last_good.insert(vm, (sample, 0));
+        return Ok(sample);
+    }
+    ledger.stale_sample_hours += 1;
+    match last_good.get_mut(&vm) {
+        Some((good, stale)) => {
+            *stale += 1;
+            if *stale > fcfg.max_stale_hours {
+                return Err(TraceGapError {
+                    vm,
+                    hour: h,
+                    reason: TraceGapReason::StalenessBudgetExceeded { stale_hours: *stale },
+                }
+                .into());
+            }
+            Ok(*good)
+        }
+        None => {
+            // Nothing observed yet this replay: fall back to the last
+            // history sample, the operator's view just before evaluation.
+            let fallback = (eval_start > 0)
+                .then(|| trace.demand_at(eval_start - 1))
+                .filter(|d| !d.cpu_rpe2.is_nan() && !d.mem_mb.is_nan());
+            match fallback {
+                Some(good) => {
+                    last_good.insert(vm, (good, 1));
+                    Ok(good)
+                }
+                None => Err(TraceGapError {
+                    vm,
+                    hour: h,
+                    reason: TraceGapReason::NeverObserved,
+                }
+                .into()),
+            }
+        }
     }
 }
 
@@ -325,7 +684,7 @@ mod tests {
     fn semi_static_keeps_all_hosts_active() {
         let (input, planner) = setup(DataCenterId::Airlines);
         let plan = planner.plan_semi_static(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         assert_eq!(report.hours, 72);
         for hour in &report.per_hour {
             assert_eq!(hour.active_hosts, report.provisioned_hosts);
@@ -341,8 +700,8 @@ mod tests {
         let fixed = planner.plan_semi_static(&input).unwrap();
         let dynamic = planner.plan_dynamic(&input).unwrap();
         let cfg = EmulatorConfig::default();
-        let fixed_report = emulate(&input, &fixed, &cfg);
-        let dyn_report = emulate(&input, &dynamic, &cfg);
+        let fixed_report = emulate(&input, &fixed, &cfg).unwrap();
+        let dyn_report = emulate(&input, &dynamic, &cfg).unwrap();
         assert!(
             dyn_report.mean_active_hosts() < fixed_report.provisioned_hosts as f64,
             "dynamic must switch servers off some of the time"
@@ -361,7 +720,7 @@ mod tests {
         // exceed it only via trace drift, so utilisation stays near ≤1.
         let (input, planner) = setup(DataCenterId::Airlines);
         let plan = planner.plan_semi_static(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         for host in &report.per_host {
             assert!(host.avg_cpu_util <= 1.0 + 1e-9);
             assert!(host.avg_mem_util <= 1.05, "mem util {}", host.avg_mem_util);
@@ -372,7 +731,7 @@ mod tests {
     fn energy_equals_per_hour_watt_sum() {
         let (input, planner) = setup(DataCenterId::Airlines);
         let plan = planner.plan_stochastic(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         let total_wh: f64 = report.per_hour.iter().map(|h| h.watts).sum();
         assert!((report.energy_kwh - total_wh / 1000.0).abs() < 1e-9);
     }
@@ -381,7 +740,7 @@ mod tests {
     fn dedup_reduces_memory_utilisation() {
         let (input, planner) = setup(DataCenterId::Airlines);
         let plan = planner.plan_semi_static(&input).unwrap();
-        let base = emulate(&input, &plan, &EmulatorConfig::default());
+        let base = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         let dedup = emulate(
             &input,
             &plan,
@@ -389,7 +748,8 @@ mod tests {
                 dedup_savings_frac: 0.3,
                 ..EmulatorConfig::default()
             },
-        );
+        )
+        .unwrap();
         let mean_mem = |r: &EmulationReport| {
             r.per_host.iter().map(|h| h.avg_mem_util).sum::<f64>() / r.per_host.len() as f64
         };
@@ -400,7 +760,7 @@ mod tests {
     fn contention_fraction_is_a_fraction() {
         let (input, planner) = setup(DataCenterId::Banking);
         let plan = planner.plan_dynamic(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         let f = report.contention_time_fraction();
         assert!((0.0..=1.0).contains(&f));
         // Every contention sample must be positive.
@@ -411,7 +771,7 @@ mod tests {
     fn interval_summaries_fold_hours() {
         let (input, planner) = setup(DataCenterId::Banking);
         let plan = planner.plan_dynamic(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         let intervals = report.interval_summaries(2);
         assert_eq!(intervals.len(), report.hours.div_ceil(2));
         // Energy conservation: interval energy sums to the total.
@@ -433,8 +793,163 @@ mod tests {
     fn migration_counters_propagate() {
         let (input, planner) = setup(DataCenterId::Banking);
         let plan = planner.plan_dynamic(&input).unwrap();
-        let report = emulate(&input, &plan, &EmulatorConfig::default());
+        let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
         assert_eq!(report.migrations, plan.migrations.len());
         assert!(report.failed_migrations <= report.migrations);
+    }
+
+    #[test]
+    fn zero_rate_fault_replay_is_bit_identical() {
+        // The golden guarantee: a disabled fault config performs the
+        // exact same arithmetic in the exact same order as the plain
+        // engine, for every planner kind on every calibrated data center.
+        use crate::faults::FaultConfig;
+        let cfg = EmulatorConfig::default();
+        for dc in [
+            DataCenterId::Banking,
+            DataCenterId::Airlines,
+            DataCenterId::NaturalResources,
+            DataCenterId::Beverage,
+        ] {
+            let (input, planner) = setup(dc);
+            for kind in vmcw_consolidation::planner::PlannerKind::EVALUATED {
+                let plan = planner.plan(kind, &input).unwrap();
+                let plain = emulate(&input, &plan, &cfg).unwrap();
+                let faulted =
+                    emulate_with_faults(&input, &plan, &cfg, &FaultConfig::disabled()).unwrap();
+                assert_eq!(plain, faulted, "{dc:?}/{kind:?} diverged under zero-rate faults");
+                assert!(faulted.faults.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_reduce_active_hosts_and_fill_the_ledger() {
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Airlines);
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let cfg = EmulatorConfig::default();
+        let faults = FaultConfig {
+            host_mtbf_hours: 36.0,
+            host_mttr_hours: 4.0,
+            ..FaultConfig::disabled()
+        };
+        let plain = emulate(&input, &plan, &cfg).unwrap();
+        let faulted = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+        assert!(faulted.faults.host_crashes > 0, "36h MTBF over 72h must crash");
+        // A crashed host draws no power.
+        assert!(faulted.energy_kwh < plain.energy_kwh);
+        // Downtime accrues only while VMs are down; evacuations restart
+        // them elsewhere.
+        assert!(faulted.faults.downtime_vm_hours > 0 || faulted.faults.evacuations > 0);
+    }
+
+    #[test]
+    fn same_fault_seed_gives_identical_reports() {
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Banking);
+        let plan = planner.plan_dynamic(&input).unwrap();
+        let cfg = EmulatorConfig::default();
+        let faults = FaultConfig::baseline(17);
+        let a = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+        let b = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_migration_failures_are_ledgered() {
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Banking);
+        let plan = planner.plan_dynamic(&input).unwrap();
+        assert!(!plan.migrations.is_empty(), "dynamic plan must migrate");
+        let cfg = EmulatorConfig::default();
+        let faults = FaultConfig {
+            migration_failure_prob: 0.5,
+            ..FaultConfig::disabled()
+        };
+        let report = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+        assert!(
+            report.faults.failed_migrations > 0,
+            "50% failure rate must fail some attempts"
+        );
+        assert!(report.faults.retried_migrations > 0);
+    }
+
+    #[test]
+    fn dropouts_are_survived_and_counted() {
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Airlines);
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let cfg = EmulatorConfig::default();
+        let faults = FaultConfig {
+            trace_dropout_prob: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let report = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+        assert!(report.faults.stale_sample_hours > 0);
+        // Held values keep utilisation finite.
+        for host in &report.per_host {
+            assert!(host.avg_cpu_util.is_finite());
+            assert!(host.avg_mem_util.is_finite());
+        }
+    }
+
+    #[test]
+    fn nan_samples_are_survived_without_injection() {
+        use crate::faults::FaultConfig;
+        let (mut input, planner) = setup(DataCenterId::Airlines);
+        let plan = planner.plan_semi_static(&input).unwrap();
+        // Corrupt one VM's trace mid-evaluation.
+        let eval_start = input.eval_range().start;
+        {
+            let t = &mut input.vms[0];
+            let mut values = t.cpu_rpe2.values().to_vec();
+            values[eval_start + 5] = f64::NAN;
+            t.cpu_rpe2 = vmcw_trace::series::TimeSeries::new(t.cpu_rpe2.step(), values);
+        }
+        let cfg = EmulatorConfig::default();
+        let report =
+            emulate_with_faults(&input, &plan, &cfg, &FaultConfig::disabled()).unwrap();
+        assert_eq!(report.faults.stale_sample_hours, 1);
+        for host in &report.per_host {
+            assert!(host.avg_cpu_util.is_finite());
+        }
+    }
+
+    #[test]
+    fn staleness_budget_aborts_with_trace_gap() {
+        use crate::faults::FaultConfig;
+        let (mut input, planner) = setup(DataCenterId::Airlines);
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let eval_start = input.eval_range().start;
+        {
+            let t = &mut input.vms[0];
+            let mut values = t.cpu_rpe2.values().to_vec();
+            for v in values.iter_mut().skip(eval_start) {
+                *v = f64::NAN;
+            }
+            t.cpu_rpe2 = vmcw_trace::series::TimeSeries::new(t.cpu_rpe2.step(), values);
+        }
+        let faults = FaultConfig {
+            max_stale_hours: 6,
+            ..FaultConfig::disabled()
+        };
+        let err =
+            emulate_with_faults(&input, &plan, &EmulatorConfig::default(), &faults).unwrap_err();
+        assert!(matches!(err, EmulatorError::TraceGap(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_fault_config_is_rejected_up_front() {
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Airlines);
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let faults = FaultConfig {
+            migration_failure_prob: f64::NAN,
+            ..FaultConfig::disabled()
+        };
+        let err =
+            emulate_with_faults(&input, &plan, &EmulatorConfig::default(), &faults).unwrap_err();
+        assert!(matches!(err, EmulatorError::InvalidFaultConfig { .. }));
     }
 }

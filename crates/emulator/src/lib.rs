@@ -21,6 +21,10 @@
 //! * [`validate`] — the emulator-accuracy experiment: replaying traces
 //!   through the app models and measuring the 99th-percentile error
 //!   (paper: ≤5% for RuBiS, ≤2% for daxpy).
+//! * [`faults`] — seeded fault injection for replay: host crashes with
+//!   HA evacuation, migration failures with retry/backoff, and trace
+//!   dropouts survived by last-good-value hold. One seed yields one
+//!   fault timeline, shared by every planner under comparison.
 //!
 //! # Example
 //!
@@ -34,10 +38,10 @@
 //!     .days(10)
 //!     .generate(1);
 //! let input = PlanningInput::from_workload(&workload, 7, VirtualizationModel::default());
-//! let plan = Planner::baseline().plan_semi_static(&input)?;
-//! let report = emulate(&input, &plan, &EmulatorConfig::default());
+//! let plan = Planner::baseline().plan_semi_static(&input).unwrap();
+//! let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
 //! assert_eq!(report.hours, 72);
-//! # Ok::<(), vmcw_consolidation::PackError>(())
+//! assert!(report.faults.is_clean());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,8 +49,13 @@
 
 pub mod apps;
 pub mod engine;
+pub mod faults;
 pub mod report;
 pub mod sla;
 pub mod validate;
 
-pub use engine::{emulate, EmulationReport, EmulatorConfig, HostSummary, HourSummary};
+pub use engine::{
+    emulate, emulate_with_faults, EmulationReport, EmulatorConfig, EmulatorError, HostSummary,
+    HourSummary,
+};
+pub use faults::{CrashSchedule, FaultConfig, FaultLedger, HostOutage, TraceGapError};

@@ -131,6 +131,7 @@ mod tests {
                 planner.plan_semi_static(&input).unwrap()
             };
             crate::engine::emulate(&input, &plan, &crate::engine::EmulatorConfig::default())
+                .unwrap()
         }
     }
 

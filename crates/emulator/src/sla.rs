@@ -8,6 +8,7 @@
 //! work-conserving fair-share assumption — and aggregates per-VM
 //! violation statistics.
 
+use crate::engine::EmulatorError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vmcw_cluster::resources::Resources;
@@ -95,8 +96,15 @@ impl SlaReport {
 
 /// Replays the evaluation window and attributes unserved CPU demand to
 /// VMs proportionally to their share of the host's demand.
-#[must_use]
-pub fn analyze(input: &PlanningInput, plan: &ConsolidationPlan) -> SlaReport {
+///
+/// # Errors
+///
+/// Returns [`EmulatorError::MissingTrace`] if the plan places a VM that
+/// has no demand trace in the input.
+pub fn analyze(
+    input: &PlanningInput,
+    plan: &ConsolidationPlan,
+) -> Result<SlaReport, EmulatorError> {
     let eval = input.eval_range();
     let hours = eval.len();
     let capacities: Vec<Resources> = plan.dc.iter().map(|h| h.model.capacity()).collect();
@@ -120,22 +128,25 @@ pub fn analyze(input: &PlanningInput, plan: &ConsolidationPlan) -> SlaReport {
         let placement = plan.placements.at_hour(h);
         for host in placement.active_hosts() {
             let vms = placement.vms_on(host);
-            let demands: Vec<(VmId, Resources)> = vms
-                .iter()
-                .map(|&vm| {
-                    (
-                        vm,
-                        input
-                            .vm_trace(vm)
-                            .expect("placed VM has a trace")
-                            .demand_at(eval.start + h),
-                    )
-                })
-                .collect();
+            let mut demands: Vec<(VmId, Resources)> = Vec::with_capacity(vms.len());
+            for &vm in vms {
+                let trace = input
+                    .vm_trace(vm)
+                    .ok_or(EmulatorError::MissingTrace { vm })?;
+                demands.push((vm, trace.demand_at(eval.start + h)));
+            }
             let total_cpu: f64 = demands.iter().map(|(_, d)| d.cpu_rpe2).sum();
-            let unserved = (total_cpu - capacities[host.0 as usize].cpu_rpe2).max(0.0);
+            let capacity = capacities
+                .get(host.0 as usize)
+                .ok_or(EmulatorError::UnknownHost { host })?;
+            let unserved = (total_cpu - capacity.cpu_rpe2).max(0.0);
             for (vm, d) in demands {
-                let s = acc.get_mut(&vm).expect("initialised");
+                let s = acc.entry(vm).or_insert(VmSla {
+                    vm,
+                    violation_hours: 0,
+                    unserved_cpu_rpe2_hours: 0.0,
+                    total_cpu_rpe2_hours: 0.0,
+                });
                 s.total_cpu_rpe2_hours += d.cpu_rpe2;
                 if unserved > 0.0 && total_cpu > 0.0 {
                     let share = d.cpu_rpe2 / total_cpu;
@@ -146,10 +157,10 @@ pub fn analyze(input: &PlanningInput, plan: &ConsolidationPlan) -> SlaReport {
         }
     }
 
-    SlaReport {
+    Ok(SlaReport {
         per_vm: acc.into_values().collect(),
         hours,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,9 +180,10 @@ mod tests {
     #[test]
     fn total_unserved_matches_emulator_contention() {
         let (input, plan) = setup(DataCenterId::Banking, PlannerKind::Dynamic);
-        let sla = analyze(&input, &plan);
+        let sla = analyze(&input, &plan).unwrap();
         let report =
-            crate::engine::emulate(&input, &plan, &crate::engine::EmulatorConfig::default());
+            crate::engine::emulate(&input, &plan, &crate::engine::EmulatorConfig::default())
+                .unwrap();
         let capacity = plan.dc.template().capacity().cpu_rpe2;
         let emulator_unserved: f64 = report
             .per_hour
@@ -189,7 +201,7 @@ mod tests {
     #[test]
     fn peak_sized_plans_have_no_violators() {
         let (input, plan) = setup(DataCenterId::Airlines, PlannerKind::SemiStatic);
-        let sla = analyze(&input, &plan);
+        let sla = analyze(&input, &plan).unwrap();
         assert_eq!(sla.violators().len(), 0);
         assert_eq!(sla.violator_fraction(), 0.0);
         assert!(sla.unserved_fraction_cdf().is_empty());
@@ -198,7 +210,7 @@ mod tests {
     #[test]
     fn bursty_dynamic_produces_ranked_violators() {
         let (input, plan) = setup(DataCenterId::Banking, PlannerKind::Dynamic);
-        let sla = analyze(&input, &plan);
+        let sla = analyze(&input, &plan).unwrap();
         let violators = sla.violators();
         if violators.len() >= 2 {
             assert!(
@@ -214,7 +226,7 @@ mod tests {
     #[test]
     fn unserved_fraction_is_bounded() {
         let (input, plan) = setup(DataCenterId::Beverage, PlannerKind::Dynamic);
-        let sla = analyze(&input, &plan);
+        let sla = analyze(&input, &plan).unwrap();
         for vm in &sla.per_vm {
             let f = vm.unserved_fraction();
             assert!((0.0..=1.0).contains(&f), "{}: {f}", vm.vm);

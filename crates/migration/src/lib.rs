@@ -27,6 +27,9 @@
 //!   "Enabling Shorter Consolidation Intervals").
 //! * [`mechanisms`] — post-copy and RDMA-assisted migration models for
 //!   the §7 "Improving live migration efficiency" what-if.
+//! * [`retry`] — bounded retry with exponential backoff and a
+//!   per-migration time budget for failed transfers, as used by the
+//!   emulator's fault-injection replay.
 //!
 //! # Example
 //!
@@ -47,10 +50,12 @@ pub mod cost;
 pub mod mechanisms;
 pub mod precopy;
 pub mod reliability;
+pub mod retry;
 pub mod schedule;
 
 pub use cost::{MigrationCostModel, MigrationCostReport};
 pub use mechanisms::MigrationMechanism;
 pub use precopy::{HostLoad, MigrationOutcome, PrecopyConfig, VmMigrationProfile};
-pub use reliability::{ReliabilityThresholds, ReservationPolicy};
+pub use reliability::{PolicyError, ReliabilityThresholds, ReservationPolicy};
+pub use retry::{AbandonReason, MigrationError, RetryOutcome, RetryPolicy};
 pub use schedule::{MigrationRequest, MigrationSchedule};

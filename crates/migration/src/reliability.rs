@@ -9,6 +9,40 @@
 
 use crate::precopy::{HostLoad, PrecopyConfig, VmMigrationProfile};
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A threshold or reservation fraction outside its valid domain.
+///
+/// All reliability thresholds and reservation fractions are utilisation
+/// fractions and must lie in `[0, 1]`; NaN is always rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyError {
+    /// The offending field.
+    pub field: &'static str,
+    /// The rejected value (possibly NaN).
+    pub value: f64,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} must be a finite fraction in [0, 1], got {}",
+            self.field, self.value
+        )
+    }
+}
+
+impl Error for PolicyError {}
+
+fn check_fraction(field: &'static str, value: f64) -> Result<f64, PolicyError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(PolicyError { field, value })
+    }
+}
 
 /// Host-load thresholds for reliable live migration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,6 +61,18 @@ impl ReliabilityThresholds {
             max_cpu_util: 0.80,
             max_mem_util: 0.85,
         }
+    }
+
+    /// Validates and builds thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN and values outside `[0, 1]`.
+    pub fn try_new(max_cpu_util: f64, max_mem_util: f64) -> Result<Self, PolicyError> {
+        Ok(Self {
+            max_cpu_util: check_fraction("max_cpu_util", max_cpu_util)?,
+            max_mem_util: check_fraction("max_mem_util", max_mem_util)?,
+        })
     }
 
     /// Whether a host at `load` can migrate reliably.
@@ -85,22 +131,46 @@ impl ReservationPolicy {
         }
     }
 
+    /// Validates and builds a reservation policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN and fractions outside `[0, 1]`.
+    pub fn try_new(cpu_frac: f64, mem_frac: f64) -> Result<Self, PolicyError> {
+        Ok(Self {
+            cpu_frac: check_fraction("cpu_frac", cpu_frac)?,
+            mem_frac: check_fraction("mem_frac", mem_frac)?,
+        })
+    }
+
     /// Builds the policy from a utilization bound `U` (both resources
     /// reserved at `1 − U`), as in the Figs 13–16 sweeps.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < bound ≤ 1`.
+    /// Panics unless `0 < bound ≤ 1`; see [`Self::try_from_utilization_bound`]
+    /// for the non-panicking form.
     #[must_use]
     pub fn from_utilization_bound(bound: f64) -> Self {
-        assert!(
-            bound > 0.0 && bound <= 1.0,
-            "utilization bound must be in (0, 1], got {bound}"
-        );
-        Self {
-            cpu_frac: 1.0 - bound,
-            mem_frac: 1.0 - bound,
+        match Self::try_from_utilization_bound(bound) {
+            Ok(policy) => policy,
+            Err(_) => panic!("utilization bound must be in (0, 1], got {bound}"),
         }
+    }
+
+    /// Builds the policy from a utilization bound `U`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN and bounds outside `(0, 1]`.
+    pub fn try_from_utilization_bound(bound: f64) -> Result<Self, PolicyError> {
+        if bound.is_nan() || bound <= 0.0 || bound > 1.0 {
+            return Err(PolicyError {
+                field: "utilization_bound",
+                value: bound,
+            });
+        }
+        Self::try_new(1.0 - bound, 1.0 - bound)
     }
 
     /// The CPU utilization bound (1 − reserved CPU fraction).
@@ -176,6 +246,29 @@ mod tests {
     #[should_panic(expected = "utilization bound")]
     fn zero_bound_rejected() {
         let _ = ReservationPolicy::from_utilization_bound(0.0);
+    }
+
+    #[test]
+    fn construction_rejects_nan_and_out_of_range() {
+        assert!(ReliabilityThresholds::try_new(0.8, 0.85).is_ok());
+        for bad in [f64::NAN, -0.1, 1.1, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(ReliabilityThresholds::try_new(bad, 0.85).is_err(), "cpu {bad}");
+            assert!(ReliabilityThresholds::try_new(0.8, bad).is_err(), "mem {bad}");
+            assert!(ReservationPolicy::try_new(bad, 0.2).is_err(), "cpu {bad}");
+            assert!(ReservationPolicy::try_new(0.2, bad).is_err(), "mem {bad}");
+            assert!(
+                ReservationPolicy::try_from_utilization_bound(bad).is_err(),
+                "bound {bad}"
+            );
+        }
+        let err = ReliabilityThresholds::try_new(f64::NAN, 0.85).unwrap_err();
+        assert_eq!(err.field, "max_cpu_util");
+        assert!(err.to_string().contains("max_cpu_util"));
+        assert!(ReservationPolicy::try_from_utilization_bound(0.0).is_err());
+        assert_eq!(
+            ReservationPolicy::try_from_utilization_bound(0.7).unwrap(),
+            ReservationPolicy::from_utilization_bound(0.7)
+        );
     }
 
     #[test]

@@ -137,26 +137,25 @@ pub fn schedule_concurrent(
         let duration = outcome.total_secs * slots as f64;
         free.entry(request.from).or_insert_with(|| vec![0.0; slots]);
         free.entry(request.to).or_insert_with(|| vec![0.0; slots]);
-        // Earliest slot on each endpoint.
-        let sf = *free[&request.from]
-            .iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .expect("slots");
-        let st = *free[&request.to]
-            .iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .expect("slots");
-        let start = sf.max(st);
+        // Earliest slot on each endpoint; the vecs are non-empty because
+        // slots ≥ 1, so the folds need no unwrap.
+        let earliest = |host: HostId| -> f64 {
+            free[&host].iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let start = earliest(request.from).max(earliest(request.to));
+        let start = if start.is_finite() { start } else { 0.0 };
         let end = start + duration;
         for host in [request.from, request.to] {
-            let slots_vec = free.get_mut(&host).expect("inserted");
-            let idx = slots_vec
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.total_cmp(b))
-                .map(|(i, _)| i)
-                .expect("slots");
-            slots_vec[idx] = end;
+            if let Some(slots_vec) = free.get_mut(&host) {
+                let idx = slots_vec
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(i, _)| i);
+                if let Some(idx) = idx {
+                    slots_vec[idx] = end;
+                }
+            }
         }
         makespan = makespan.max(end);
         items.push(ScheduledMigration {
@@ -223,7 +222,7 @@ pub fn min_feasible_interval_hours(
         .collect();
     let sched = schedule(&requests, config);
     let mut sorted = candidates.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     sorted.into_iter().find(|&h| sched.fits_within(h * 3600.0))
 }
 

@@ -161,6 +161,23 @@ pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkloa
             .map_err(|e| TraceIoError::Parse(lineno, format!("bad hour `{}`: {e}", fields[5])))?;
         let cpu = parse_f(fields[6], "cpu fraction")?;
         let mem = parse_f(fields[7], "memory")?;
+        // `f64::parse` happily accepts "NaN" and "inf"; a single such
+        // sample would silently poison every downstream aggregate, so
+        // reject non-finite and negative values here with a line number.
+        let finite = |v: f64, what: &str| -> Result<(), TraceIoError> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(TraceIoError::Parse(
+                    lineno,
+                    format!("{what} `{v}` is not a finite non-negative number"),
+                ))
+            }
+        };
+        finite(cpu_capacity, "cpu capacity")?;
+        finite(mem_capacity, "mem capacity")?;
+        finite(net_peak, "network peak")?;
+        finite(mem, "memory")?;
         if !(0.0..=1.0).contains(&cpu) {
             return Err(TraceIoError::Parse(
                 lineno,

@@ -1,0 +1,56 @@
+//! Regression tests: corrupt trace CSVs must come back as typed
+//! [`TraceIoError`]s with a line number, never a panic or a silently
+//! poisoned workload.
+
+use vmcw_trace::datacenters::DataCenterId;
+use vmcw_trace::io::{read_csv, TraceIoError, HEADER};
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn corrupt_fixture_is_rejected_with_line_numbers() {
+    // The checked-in fixture has a NaN memory sample on line 3 and a
+    // truncated row on line 4; the first defect wins and is reported
+    // by line.
+    let raw = std::fs::read(fixture("corrupt.csv")).unwrap();
+    let err = read_csv(DataCenterId::Banking, raw.as_slice()).unwrap_err();
+    match err {
+        TraceIoError::Parse(line, msg) => {
+            assert_eq!(line, 3, "NaN memory is the first corrupt row: {msg}");
+            assert!(msg.contains("memory"), "{msg}");
+        }
+        other => panic!("expected a parse error, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_row_is_rejected() {
+    let csv = format!("{HEADER}\na,web,1000,4096,50,0,0.1\n");
+    let err = read_csv(DataCenterId::Banking, csv.as_bytes()).unwrap_err();
+    match err {
+        TraceIoError::Parse(2, msg) => assert!(msg.contains("8 fields"), "{msg}"),
+        other => panic!("expected a parse error on line 2, got {other}"),
+    }
+}
+
+#[test]
+fn non_finite_values_are_rejected_everywhere() {
+    for (field, row) in [
+        ("cpu capacity", "a,web,NaN,4096,50,0,0.1,100"),
+        ("mem capacity", "a,web,1000,inf,50,0,0.1,100"),
+        ("network peak", "a,web,1000,4096,-1,0,0.1,100"),
+        ("memory", "a,web,1000,4096,50,0,0.1,NaN"),
+        ("cpu fraction", "a,web,1000,4096,50,0,NaN,100"),
+    ] {
+        let csv = format!("{HEADER}\n{row}\n");
+        let err = read_csv(DataCenterId::Banking, csv.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::Parse(2, _)),
+            "{field}: expected line-2 parse error, got {err}"
+        );
+    }
+}

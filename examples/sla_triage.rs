@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let study = Study::prepare(&config);
     let run = study.run(PlannerKind::Dynamic)?;
-    let report = sla::analyze(study.input(), &run.plan);
+    let report = sla::analyze(study.input(), &run.plan)?;
 
     println!(
         "Banking × Dynamic: {} VMs on {} hosts over {} hours\n",
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nFor comparison, the stochastic semi-static plan on the same traces \
          has {} violators.",
-        sla::analyze(study.input(), &study.run(PlannerKind::Stochastic)?.plan)
+        sla::analyze(study.input(), &study.run(PlannerKind::Stochastic)?.plan)?
             .violators()
             .len(),
     );

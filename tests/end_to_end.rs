@@ -174,7 +174,7 @@ fn dedup_savings_reduce_memory_pressure_end_to_end() {
     let config = StudyConfig::quick(DataCenterId::Airlines, 31);
     let study = Study::prepare(&config);
     let plan = config.planner.plan_semi_static(study.input()).unwrap();
-    let without = emulate(study.input(), &plan, &EmulatorConfig::default());
+    let without = emulate(study.input(), &plan, &EmulatorConfig::default()).unwrap();
     let with = emulate(
         study.input(),
         &plan,
@@ -182,7 +182,8 @@ fn dedup_savings_reduce_memory_pressure_end_to_end() {
             dedup_savings_frac: 0.25,
             ..EmulatorConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mean_mem = |r: &vmcw_repro::emulator::engine::EmulationReport| {
         r.per_host.iter().map(|h| h.avg_mem_util).sum::<f64>() / r.per_host.len() as f64
     };
@@ -222,7 +223,7 @@ fn oracle_dynamic_has_no_contention() {
     planner.dynamic.cpu_predictor = vmcw_repro::consolidation::prediction::Predictor::Oracle;
     planner.dynamic.mem_predictor = vmcw_repro::consolidation::prediction::Predictor::Oracle;
     let plan = planner.plan_dynamic(&input).unwrap();
-    let report = emulate(&input, &plan, &EmulatorConfig::default());
+    let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
     assert_eq!(report.cpu_contention_samples.len(), 0);
     assert!(report
         .per_host
@@ -295,8 +296,8 @@ fn black_swan_demand_surge_contends_fixed_plans_but_dynamic_recovers() {
     let semi = planner.plan_semi_static(&input).unwrap();
     let dynamic = planner.plan_dynamic(&input).unwrap();
     let cfg = EmulatorConfig::default();
-    let semi_report = emulate(&input, &semi, &cfg);
-    let dyn_report = emulate(&input, &dynamic, &cfg);
+    let semi_report = emulate(&input, &semi, &cfg).unwrap();
+    let dyn_report = emulate(&input, &dynamic, &cfg).unwrap();
 
     // The surge may or may not overflow the semi-static hosts depending
     // on packing slack, but the dynamic planner must end up with less
@@ -368,7 +369,7 @@ fn heterogeneous_estate_emulates_with_per_host_capacities() {
         migrations: Vec::new(),
         dc: estate,
     };
-    let report = emulate(&input, &plan, &EmulatorConfig::default());
+    let report = emulate(&input, &plan, &EmulatorConfig::default()).unwrap();
     assert_eq!(report.hours, 72);
     // No contention: demands were sized at the history peak and the
     // packer honoured the *per-host* (heterogeneous) capacities. A bug

@@ -17,7 +17,7 @@ fn study(dc: DataCenterId) -> &'static Study {
             .map(|&dc| {
                 let config = StudyConfig {
                     scale: 0.30,
-                    ..StudyConfig::paper_baseline(dc, 42)
+                    ..StudyConfig::paper_baseline(dc, 31)
                 };
                 (dc, Study::prepare(&config))
             })

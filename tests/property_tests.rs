@@ -392,3 +392,129 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection invariants (see docs/ROBUSTNESS.md).
+// ---------------------------------------------------------------------------
+
+use std::sync::OnceLock;
+use vmcw_repro::consolidation::drain::plan_drain;
+use vmcw_repro::consolidation::input::{PlanningInput, VirtualizationModel};
+use vmcw_repro::consolidation::planner::{ConsolidationPlan, Planner};
+use vmcw_repro::emulator::engine::{emulate_with_faults, EmulatorConfig};
+use vmcw_repro::emulator::faults::{CrashSchedule, FaultConfig};
+use vmcw_repro::migration::retry::RetryPolicy;
+use vmcw_repro::trace::datacenters::{DataCenterId, GeneratorConfig};
+
+/// A small planned study, built once and shared across property cases.
+fn fault_fixture() -> &'static (PlanningInput, ConsolidationPlan) {
+    static FIXTURE: OnceLock<(PlanningInput, ConsolidationPlan)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let w = GeneratorConfig::new(DataCenterId::Banking)
+            .scale(0.04)
+            .days(8)
+            .generate(17);
+        let input = PlanningInput::from_workload(&w, 5, VirtualizationModel::baseline());
+        let plan = Planner::baseline()
+            .plan_stochastic(&input)
+            .expect("fixture plans");
+        (input, plan)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_fault_seed_gives_identical_crash_schedules(
+        seed in 0u64..u64::MAX,
+        mtbf in 24.0f64..600.0,
+        mttr in 1.0f64..12.0,
+        n_hosts in 1usize..24,
+        hours in 24usize..300,
+    ) {
+        let faults = FaultConfig {
+            seed,
+            host_mtbf_hours: mtbf,
+            host_mttr_hours: mttr,
+            ..FaultConfig::disabled()
+        };
+        let a = CrashSchedule::generate(&faults, n_hosts, hours);
+        let b = CrashSchedule::generate(&faults, n_hosts, hours);
+        prop_assert_eq!(&a, &b, "one seed must yield one timeline");
+        // Every outage stays inside the horizon and no host is double
+        // booked: within a host, outages are disjoint and ordered.
+        for o in a.outages() {
+            prop_assert!(o.start_hour < hours);
+            prop_assert!(o.end_hour <= hours);
+            prop_assert!(o.start_hour < o.end_hour);
+        }
+    }
+
+    #[test]
+    fn retry_never_exceeds_the_attempt_cap(
+        max_attempts in 1u32..12,
+        base in 0.0f64..120.0,
+        factor in 1.0f64..4.0,
+        budget in 1.0f64..7200.0,
+        duration in 0.0f64..900.0,
+        fail_mask in 0u32..u32::MAX,
+    ) {
+        let policy = RetryPolicy::try_new(max_attempts, base, factor, budget)
+            .expect("generated parameters are valid");
+        let outcome = policy.run(duration, |attempt| fail_mask & (1 << (attempt % 32)) != 0);
+        prop_assert!(
+            outcome.attempts <= max_attempts,
+            "{} attempts > cap {max_attempts}", outcome.attempts
+        );
+        prop_assert!(outcome.elapsed_secs <= budget + 1e-9,
+            "elapsed {} exceeds budget {budget}", outcome.elapsed_secs);
+        prop_assert_eq!(outcome.succeeded, outcome.abandoned.is_none());
+    }
+
+    #[test]
+    fn evacuation_conserves_vm_count(host_idx in 0usize..64) {
+        let (input, plan) = fault_fixture();
+        let placement = plan.placements.at_hour(0);
+        let active = placement.active_hosts();
+        let host = active[host_idx % active.len()];
+        let residents = placement.vms_on(host).to_vec();
+        prop_assert!(!residents.is_empty(), "active hosts hold at least one VM");
+        let precopy = vmcw_repro::migration::precopy::PrecopyConfig::gigabit();
+        if let Ok(dp) = plan_drain(input, placement, host, &plan.dc, 0, (1.0, 1.0), &precopy) {
+            let mut after = placement.clone();
+            for &(vm, dest) in &dp.moves {
+                prop_assert!(dest != host, "evacuation must leave the crashed host");
+                after.assign(vm, dest);
+            }
+            // No VM lost or duplicated: `assign` re-homes, so the total
+            // count is conserved and the drained host ends empty.
+            prop_assert_eq!(after.len(), placement.len());
+            prop_assert_eq!(dp.moves.len(), residents.len());
+            prop_assert!(after.vms_on(host).is_empty(), "host must end empty");
+            for &vm in &residents {
+                prop_assert!(after.host_of(vm).is_some(), "{vm} lost in evacuation");
+            }
+        }
+    }
+}
+
+proptest! {
+    // Full fault replays are costly; a handful of cases is enough to
+    // catch order or seed sensitivity.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn same_fault_seed_gives_identical_reports(seed in 0u64..u64::MAX) {
+        let (input, plan) = fault_fixture();
+        let faults = FaultConfig {
+            host_mtbf_hours: 72.0,
+            host_mttr_hours: 2.0,
+            ..FaultConfig::baseline(seed)
+        };
+        let cfg = EmulatorConfig::default();
+        let a = emulate_with_faults(input, plan, &cfg, &faults).expect("replay");
+        let b = emulate_with_faults(input, plan, &cfg, &faults).expect("replay");
+        prop_assert_eq!(a, b, "fault replay must be deterministic in the seed");
+    }
+}
