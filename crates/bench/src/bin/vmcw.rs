@@ -13,11 +13,14 @@
 //! `analyze` and `plan` accept any CSV in the documented schema
 //! (`vmcw_trace::io::HEADER`), so real monitored traces drop straight in.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use vmcw_cluster::server::ServerModel;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_core::study::{Study, StudyConfig};
+use vmcw_core::supervise::{
+    resume_study, run_study, CancelToken, CellOutcome, StudyStatus, SuperviseError, StudySpec,
+};
 use vmcw_emulator::report;
 use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
 use vmcw_trace::{analysis, io, stats};
@@ -30,7 +33,31 @@ usage:
   vmcw compare <trace.csv> [--dc NAME] [--history-days N]
   vmcw drain <trace.csv> --host N [--dc NAME] [--history-days N] [--fabric 1gbe|10gbe]
   vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]
-  vmcw faults <trace.csv> [--dc NAME] [--history-days N] [--seed N] [--mtbf H] [--mttr H] [--mig-fail F] [--dropout F] [--thresholds on|off]";
+  vmcw faults <trace.csv> [--dc NAME] [--history-days N] [--seed N] [--mtbf H] [--mttr H] [--mig-fail F] [--dropout F] [--thresholds on|off]
+  vmcw study --out DIR [--scale F] [--seed N] [--history-days N] [--eval-days N] [--faults on|off] [--ckpt-hours N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
+  vmcw study --resume DIR [--max-hours N] [--max-secs F] [--kill-after-hours N]
+
+exit codes: 0 success · 1 runtime failure · 2 bad arguments or unreadable input";
+
+/// A CLI failure, split by whose fault it was: `Usage` (bad arguments,
+/// missing or unreadable files — exit code 2) vs `Run` (the command
+/// itself failed — exit code 1).
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_owned())
+    }
+}
 
 fn parse_dc(name: &str) -> Result<DataCenterId, String> {
     match name.to_ascii_lowercase().as_str() {
@@ -69,7 +96,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(rest),
@@ -79,22 +106,151 @@ fn main() -> ExitCode {
         "drain" => cmd_drain(rest),
         "estate" => cmd_estate(rest),
         "faults" => cmd_faults(rest),
+        "study" => cmd_study(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Run(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
         }
     }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+/// `vmcw study` — a crash-safe, resumable planner × data-center grid.
+///
+/// `--out DIR` starts a fresh study journaled to `DIR/journal.vmcwj`;
+/// `--resume DIR` continues one after a crash or kill. The final
+/// report of a resumed run is byte-identical to an uninterrupted one.
+fn cmd_study(args: &[String]) -> Result<(), CliError> {
+    let args = parse_args(args)?;
+    let token = CancelToken::new();
+    if let Some(v) = args.flags.get("kill-after-hours") {
+        token.cancel_after_hours(
+            v.parse()
+                .map_err(|e| format!("bad --kill-after-hours: {e}"))?,
+        );
+    }
+    let parse_budget = |args: &Args| -> Result<vmcw_core::supervise::CellBudget, CliError> {
+        let mut budget = vmcw_core::supervise::CellBudget::unlimited();
+        if let Some(v) = args.flags.get("max-hours") {
+            budget.max_hours = Some(v.parse().map_err(|e| format!("bad --max-hours: {e}"))?);
+        }
+        if let Some(v) = args.flags.get("max-secs") {
+            budget.max_wall_secs = Some(v.parse().map_err(|e| format!("bad --max-secs: {e}"))?);
+        }
+        Ok(budget)
+    };
+    let classify = |e: SuperviseError| match &e {
+        SuperviseError::Journal(vmcw_core::journal::JournalError::AlreadyExists { .. })
+        | SuperviseError::Journal(vmcw_core::journal::JournalError::BadMagic { .. })
+        | SuperviseError::MissingConfig { .. }
+        | SuperviseError::Spec { .. } => CliError::Usage(e.to_string()),
+        SuperviseError::Journal(vmcw_core::journal::JournalError::Io { source, .. })
+            if source.kind() == std::io::ErrorKind::NotFound =>
+        {
+            CliError::Usage(e.to_string())
+        }
+        _ => CliError::Run(e.to_string()),
+    };
+
+    let report = if let Some(dir) = args.flags.get("resume") {
+        let budget = (args.flags.contains_key("max-hours")
+            || args.flags.contains_key("max-secs"))
+        .then(|| parse_budget(&args))
+        .transpose()?;
+        resume_study(Path::new(dir), budget, &token).map_err(classify)?
+    } else {
+        let dir = args
+            .flags
+            .get("out")
+            .ok_or("--out DIR or --resume DIR is required")?;
+        let scale: f64 = args.flags.get("scale").map_or(Ok(0.1), |v| {
+            v.parse().map_err(|e| format!("bad --scale: {e}"))
+        })?;
+        let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
+            v.parse().map_err(|e| format!("bad --seed: {e}"))
+        })?;
+        let history_days: usize = args.flags.get("history-days").map_or(Ok(30), |v| {
+            v.parse().map_err(|e| format!("bad --history-days: {e}"))
+        })?;
+        let eval_days: usize = args.flags.get("eval-days").map_or(Ok(14), |v| {
+            v.parse().map_err(|e| format!("bad --eval-days: {e}"))
+        })?;
+        let mut spec = StudySpec::new(scale, seed, history_days, eval_days);
+        if let Some(v) = args.flags.get("ckpt-hours") {
+            spec.checkpoint_every_hours = v
+                .parse()
+                .map_err(|e| format!("bad --ckpt-hours: {e}"))
+                .and_then(|n: usize| {
+                    if n == 0 {
+                        Err("--ckpt-hours must be at least 1".to_owned())
+                    } else {
+                        Ok(n)
+                    }
+                })?;
+        }
+        match args.flags.get("faults").map_or("off", String::as_str) {
+            "on" => spec.faults = Some(vmcw_emulator::FaultConfig::baseline(seed)),
+            "off" => {}
+            other => return Err(format!("bad --faults `{other}` (want on|off)").into()),
+        }
+        spec.budget = parse_budget(&args)?;
+        run_study(&spec, Path::new(dir), &token).map_err(classify)?
+    };
+
+    println!(
+        "{:<4} {:<12} {:<10} {:>6} {:>6}  note",
+        "dc", "planner", "outcome", "hours", "hosts"
+    );
+    for cell in &report.cells {
+        let (hours, hosts) = cell.report.as_ref().map_or_else(
+            || ("-".to_owned(), "-".to_owned()),
+            |r| (r.hours.to_string(), r.provisioned_hosts.to_string()),
+        );
+        let note = match &cell.outcome {
+            CellOutcome::Completed => String::new(),
+            CellOutcome::Degraded { reason, .. } => reason.clone(),
+            CellOutcome::Aborted { error } => error.clone(),
+        };
+        println!(
+            "{:<4} {:<12} {:<10} {:>6} {:>6}  {}",
+            cell.dc.letter(),
+            cell.kind.label(),
+            cell.outcome.label(),
+            hours,
+            hosts,
+            note
+        );
+    }
+    match report.status {
+        StudyStatus::Completed => println!(
+            "study completed: {} cell(s); results written next to the journal",
+            report.cells.len()
+        ),
+        StudyStatus::Interrupted => println!(
+            "study interrupted after {} finished cell(s); continue with `vmcw study --resume DIR`",
+            report.cells.len()
+        ),
+    }
+    if let Some(tail) = &report.tail_dropped {
+        println!("note: discarded corrupt journal tail ({tail})");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let args = parse_args(args)?;
     let dc = parse_dc(args.flags.get("dc").ok_or("--dc is required")?)?;
     let scale: f64 = args.flags.get("scale").map_or(Ok(1.0), |v| {
@@ -138,7 +294,7 @@ fn frac_above(samples: &[f64], x: f64) -> f64 {
     samples.iter().filter(|&&v| v > x).count() as f64 / samples.len().max(1) as f64
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let args = parse_args(args)?;
     let w = load_trace(&args)?;
     println!(
@@ -215,7 +371,7 @@ fn history_days_for(args: &Args, total_days: usize) -> Result<usize, String> {
     Ok(days)
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String]) -> Result<(), CliError> {
     use vmcw_core::study::{compare, Scenario};
     let args = parse_args(args)?;
     let w = load_trace(&args)?;
@@ -249,7 +405,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             ),
         ],
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Run(e.to_string()))?;
     println!(
         "{:<18} {:>7} {:>11} {:>12} {:>12}",
         "scenario", "hosts", "energy_kwh", "migrations", "contention"
@@ -267,7 +423,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_drain(args: &[String]) -> Result<(), String> {
+fn cmd_drain(args: &[String]) -> Result<(), CliError> {
     use vmcw_consolidation::drain::plan_drain;
     use vmcw_migration::precopy::PrecopyConfig;
     let args = parse_args(args)?;
@@ -282,7 +438,7 @@ fn cmd_drain(args: &[String]) -> Result<(), String> {
     let fabric = match args.flags.get("fabric").map_or("1gbe", String::as_str) {
         "1gbe" => PrecopyConfig::gigabit(),
         "10gbe" => PrecopyConfig::ten_gigabit(),
-        other => return Err(format!("unknown --fabric `{other}`")),
+        other => return Err(format!("unknown --fabric `{other}`").into()),
     };
     let config = StudyConfig {
         history_days,
@@ -293,7 +449,7 @@ fn cmd_drain(args: &[String]) -> Result<(), String> {
     let plan = config
         .planner
         .plan_stochastic(study.input())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Run(e.to_string()))?;
     let placement = plan.placements.at_hour(0);
     let host = vmcw_cluster::datacenter::HostId(host);
     let drain = plan_drain(
@@ -305,7 +461,7 @@ fn cmd_drain(args: &[String]) -> Result<(), String> {
         (1.0, 1.0),
         &fabric,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Run(e.to_string()))?;
     println!(
         "drain of {host}: {} migrations, {:.1} min, {:.0} MB moved, {} failed",
         drain.moves.len(),
@@ -319,7 +475,7 @@ fn cmd_drain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_estate(args: &[String]) -> Result<(), String> {
+fn cmd_estate(args: &[String]) -> Result<(), CliError> {
     use vmcw_consolidation::ffd::OrderKey;
     use vmcw_consolidation::fixed_pool::{pack_fixed, FixedPoolError};
     use vmcw_consolidation::sizing::SizingFunction;
@@ -380,11 +536,11 @@ fn cmd_estate(args: &[String]) -> Result<(), String> {
             println!("exhausted: first stranded VM {vm} needs {demand}");
             Ok(())
         }
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err(CliError::Run(e.to_string())),
     }
 }
 
-fn cmd_faults(args: &[String]) -> Result<(), String> {
+fn cmd_faults(args: &[String]) -> Result<(), CliError> {
     use vmcw_emulator::FaultConfig;
     let args = parse_args(args)?;
     let w = load_trace(&args)?;
@@ -407,7 +563,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         match args.flags.get("thresholds").map_or("on", String::as_str) {
             "on" => true,
             "off" => false,
-            other => return Err(format!("bad --thresholds `{other}` (want on|off)")),
+            other => return Err(format!("bad --thresholds `{other}` (want on|off)").into()),
         };
     faults.validate().map_err(|e| e.to_string())?;
 
@@ -439,7 +595,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         "stale_h"
     );
     for kind in PlannerKind::EVALUATED {
-        let run = study.run_faulted(kind, &faults).map_err(|e| e.to_string())?;
+        let run = study.run_faulted(kind, &faults).map_err(|e| CliError::Run(e.to_string()))?;
         let f = run.report.faults;
         println!(
             "{:<12} {:>7} {:>11.1} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10} {:>7}",
@@ -458,7 +614,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let args = parse_args(args)?;
     let w = load_trace(&args)?;
     let history_days = history_days_for(&args, w.days)?;
@@ -481,7 +637,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         "stochastic" => vec![PlannerKind::Stochastic],
         "dynamic" => vec![PlannerKind::Dynamic],
         "static" => vec![PlannerKind::Static],
-        other => return Err(format!("unknown --planner `{other}`")),
+        other => return Err(format!("unknown --planner `{other}`").into()),
     };
 
     println!(
@@ -494,7 +650,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         "planner", "hosts", "energy_kwh", "migrations", "contention", "mean_active"
     );
     for kind in kinds {
-        let run = study.run(kind).map_err(|e| e.to_string())?;
+        let run = study.run(kind).map_err(|e| CliError::Run(e.to_string()))?;
         println!(
             "{:<12} {:>7} {:>11.1} {:>12} {:>11.4}% {:>14.1}",
             kind.label(),

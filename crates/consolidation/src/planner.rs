@@ -47,6 +47,20 @@ impl PlannerKind {
             PlannerKind::Dynamic => "Dynamic",
         }
     }
+
+    /// Inverse of [`label`](Self::label), for decoding journals and CLI
+    /// arguments.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        [
+            PlannerKind::Static,
+            PlannerKind::SemiStatic,
+            PlannerKind::Stochastic,
+            PlannerKind::Dynamic,
+        ]
+        .into_iter()
+        .find(|k| k.label() == label)
+    }
 }
 
 impl fmt::Display for PlannerKind {

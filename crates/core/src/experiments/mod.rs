@@ -41,7 +41,7 @@ pub use extensions::{
 };
 pub use micro::{emulator_validation, migration_experiment, olio_experiment};
 pub use sensitivity::{sensitivity, UTILIZATION_BOUNDS};
-pub use summary::{check_claims, reproduction_summary, Claim};
+pub use summary::{check_claims, reproduction_summary, study_markdown, Claim};
 pub use workload_figs::{fig1, fig2, fig3, fig4, fig5, fig6, table1, table2};
 
 use crate::render::Table;

@@ -237,6 +237,86 @@ pub fn reproduction_summary(suite: &mut Suite) -> Result<String, StudyError> {
     Ok(out)
 }
 
+/// Renders a supervised study's outcome as Markdown (`STUDY.md`).
+///
+/// Deterministic — no timestamps or wall-clock figures — so two
+/// bit-identical runs render byte-identical files.
+#[must_use]
+pub fn study_markdown(report: &crate::supervise::StudyReport) -> String {
+    use crate::supervise::{CellOutcome, StudyStatus};
+
+    let spec = &report.spec;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Study report\n");
+    let _ = writeln!(
+        out,
+        "Scale {} · seed {} · {}+{} days · faults {} · status {}\n",
+        spec.scale,
+        spec.seed,
+        spec.history_days,
+        spec.eval_days,
+        if spec.faults.is_some() { "on" } else { "off" },
+        match report.status {
+            StudyStatus::Completed => "completed",
+            StudyStatus::Interrupted => "interrupted",
+        }
+    );
+    if let Some(tail) = &report.tail_dropped {
+        let _ = writeln!(
+            out,
+            "> A corrupt journal tail was discarded on resume ({tail}).\n"
+        );
+    }
+    let _ = writeln!(out, "| dc | planner | outcome | hours | hosts | energy kWh | note |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for cell in &report.cells {
+        let (hours, hosts, energy) = cell.report.as_ref().map_or_else(
+            || ("-".into(), "-".into(), "-".into()),
+            |r| {
+                (
+                    r.hours.to_string(),
+                    r.provisioned_hosts.to_string(),
+                    fnum(r.energy_kwh, 3),
+                )
+            },
+        );
+        let note = match &cell.outcome {
+            CellOutcome::Completed => String::new(),
+            CellOutcome::Degraded { reason, .. } => reason.clone(),
+            CellOutcome::Aborted { error } => error.clone(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            cell.dc.letter(),
+            cell.kind.label(),
+            cell.outcome.label(),
+            hours,
+            hosts,
+            energy,
+            note
+        );
+    }
+    let degraded = report
+        .cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::Degraded { .. }))
+        .count();
+    let aborted = report
+        .cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::Aborted { .. }))
+        .count();
+    if degraded + aborted > 0 {
+        let _ = writeln!(
+            out,
+            "\n{degraded} degraded and {aborted} aborted cell(s); their rows report the \
+             completed prefix only. See docs/DURABILITY.md for resume semantics."
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,11 @@
 //!   producing [`Table`](render::Table)s that the `vmcw-bench` harness
 //!   writes to `results/`.
 //! * [`render`] — plain-text/CSV rendering of experiment outputs.
+//! * [`journal`] — checksummed write-ahead journal and atomic file
+//!   writes backing crash-safe studies.
+//! * [`supervise`] — budgeted, resumable execution of planner ×
+//!   data-center study grids with checkpoint/restore and degraded
+//!   partial reports.
 //!
 //! The lower layers are re-exported so that downstream users only need
 //! this crate:
@@ -28,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod journal;
 pub mod render;
 pub mod study;
+pub mod supervise;
 
 pub use vmcw_cluster as cluster;
 pub use vmcw_consolidation as consolidation;
@@ -39,8 +46,12 @@ pub use vmcw_trace as trace;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::journal::{write_atomic, Journal};
     pub use crate::render::Table;
     pub use crate::study::{Study, StudyConfig, StudyError, StudyRun};
+    pub use crate::supervise::{
+        resume_study, run_study, CancelToken, CellBudget, CellOutcome, StudyReport, StudySpec,
+    };
     pub use vmcw_cluster::cost::FacilityCostModel;
     pub use vmcw_cluster::server::ServerModel;
     pub use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};

@@ -147,16 +147,16 @@ impl Table {
         out
     }
 
-    /// Writes `<dir>/<name>.csv`.
+    /// Writes `<dir>/<name>.csv` atomically (temp file + fsync +
+    /// rename), so a crash mid-write never leaves a torn CSV behind.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from creating the directory or writing the
     /// file.
     pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.csv", self.name));
-        std::fs::write(&path, self.to_csv())?;
+        crate::journal::write_atomic(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 }

@@ -177,6 +177,18 @@ impl Study {
         &self.input
     }
 
+    /// Plans with `kind` without emulating — for callers that drive the
+    /// replay themselves (the crash-safe supervisor steps a
+    /// [`Replay`](vmcw_emulator::Replay) hour by hour under budgets and
+    /// checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackError`] from the planner.
+    pub fn plan(&self, kind: PlannerKind) -> Result<ConsolidationPlan, StudyError> {
+        Ok(self.config.planner.plan(kind, &self.input)?)
+    }
+
     /// Plans with `kind` and emulates the evaluation window.
     ///
     /// # Errors

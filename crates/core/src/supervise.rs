@@ -1,0 +1,1055 @@
+//! Crash-safe, budgeted execution of multi-cell studies.
+//!
+//! A *study* here is the planner × data-center grid of the paper's
+//! evaluation. [`run_study`] drives every cell through the stepwise
+//! [`Replay`] engine under a cooperative [`CancelToken`] and per-cell
+//! [`CellBudget`]s, journaling a [`ReplayCheckpoint`] at a fixed cadence
+//! and each finished cell's full report. [`resume_study`] rebuilds from
+//! the journal after a crash or SIGKILL: completed cells are replayed
+//! from their journaled reports (byte-identical by construction), the
+//! interrupted cell resumes from its last checkpoint (bit-identical by
+//! the engine's resume guarantee), and the rest run normally.
+//!
+//! Cells that exhaust a budget are *degraded* — their partial report
+//! covers the completed hours — and cells whose planner or replay fails
+//! are *aborted*; neither kills the rest of the study. Every checkpoint
+//! is invariant-checked (capacity, double placement, ledger/hour
+//! monotonicity) before it is journaled, failing fast at the boundary
+//! where state first went bad.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use vmcw_consolidation::planner::PlannerKind;
+use vmcw_emulator::checkpoint::{
+    decode_cost, decode_fault_config, decode_report, enc_f64, encode_cost, encode_fault_config,
+    encode_report, fnv1a, CheckpointError, Toks,
+};
+use vmcw_emulator::engine::{EmulationReport, Replay};
+use vmcw_emulator::faults::FaultConfig;
+use vmcw_emulator::report::{cost_summary, CostSummary};
+use vmcw_emulator::validate::{check_checkpoint, InvariantViolation};
+use vmcw_emulator::ReplayCheckpoint;
+use vmcw_trace::datacenters::DataCenterId;
+
+use crate::journal::{write_atomic, Journal, JournalError, TailCorruption};
+use crate::render::{fnum, Table};
+use crate::study::{Study, StudyConfig};
+
+/// Cooperative cancellation shared between a supervisor and whoever
+/// wants to stop it (a signal handler, a test, a deadline).
+///
+/// Cancellation is *cooperative*: the supervisor polls the token at
+/// every hour boundary, checkpoints, and returns an `Interrupted`
+/// report — it never loses state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    /// Cancel once this many hours have been stepped (u64::MAX = never);
+    /// lets tests kill a study at a *deterministic* point.
+    limit_hours: AtomicU64,
+    stepped: AtomicU64,
+}
+
+impl CancelToken {
+    /// A token that never fires until [`cancel`](Self::cancel)ed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                limit_hours: AtomicU64::new(u64::MAX),
+                stepped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Arms the token to cancel after `hours` replay hours have been
+    /// stepped across the whole study — a deterministic "kill at hour N".
+    pub fn cancel_after_hours(&self, hours: u64) {
+        self.inner.limit_hours.store(hours, Ordering::SeqCst);
+    }
+
+    /// Records one stepped replay hour (called by the supervisor).
+    pub fn note_hour(&self) {
+        let stepped = self.inner.stepped.fetch_add(1, Ordering::SeqCst) + 1;
+        if stepped >= self.inner.limit_hours.load(Ordering::SeqCst) {
+            self.cancel();
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-cell execution budgets. A cell that runs over is *degraded* — it
+/// finalises a partial report instead of wedging the study.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellBudget {
+    /// Maximum wall-clock seconds per cell per session.
+    pub max_wall_secs: Option<f64>,
+    /// Maximum replay hours per cell (deterministic step budget).
+    pub max_hours: Option<usize>,
+}
+
+impl CellBudget {
+    /// No limits.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
+/// How one planner × data-center cell ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Replayed every evaluation hour.
+    Completed,
+    /// Stopped at a budget; the cell's report is partial.
+    Degraded {
+        /// Which budget fired.
+        reason: String,
+        /// Hours actually replayed.
+        hours_done: usize,
+    },
+    /// Planning or replay failed; the error is recorded, the study went
+    /// on.
+    Aborted {
+        /// The failure.
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// Short status word for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Completed => "completed",
+            CellOutcome::Degraded { .. } => "degraded",
+            CellOutcome::Aborted { .. } => "aborted",
+        }
+    }
+}
+
+/// One cell of the study grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The data center.
+    pub dc: DataCenterId,
+    /// The planner.
+    pub kind: PlannerKind,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// The (possibly partial) emulation report; `None` for aborted
+    /// cells.
+    pub report: Option<EmulationReport>,
+    /// Costs of the report under the study's cost model.
+    pub cost: Option<CostSummary>,
+}
+
+/// What a supervised study should run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudySpec {
+    /// Data centers to evaluate.
+    pub dcs: Vec<DataCenterId>,
+    /// Planners to evaluate per data center.
+    pub planners: Vec<PlannerKind>,
+    /// Server-count scale (1.0 = Table 2 population).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Planning-history days.
+    pub history_days: usize,
+    /// Evaluation days.
+    pub eval_days: usize,
+    /// Fault injection, if any.
+    pub faults: Option<FaultConfig>,
+    /// Checkpoint cadence in replay hours.
+    pub checkpoint_every_hours: usize,
+    /// Per-cell budgets.
+    pub budget: CellBudget,
+}
+
+impl StudySpec {
+    /// All four data centers × the three evaluated planners, checkpoint
+    /// every 6 replay hours, no budgets, no faults.
+    #[must_use]
+    pub fn new(scale: f64, seed: u64, history_days: usize, eval_days: usize) -> Self {
+        Self {
+            dcs: DataCenterId::ALL.to_vec(),
+            planners: PlannerKind::EVALUATED.to_vec(),
+            scale,
+            seed,
+            history_days,
+            eval_days,
+            faults: None,
+            checkpoint_every_hours: 6,
+            budget: CellBudget::unlimited(),
+        }
+    }
+
+    /// The per-data-center study configuration the spec induces.
+    #[must_use]
+    pub fn study_config(&self, dc: DataCenterId) -> StudyConfig {
+        StudyConfig {
+            scale: self.scale,
+            history_days: self.history_days,
+            eval_days: self.eval_days,
+            ..StudyConfig::paper_baseline(dc, self.seed)
+        }
+    }
+
+    /// Single-line journal encoding (floats bit-exact).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let dcs: String = self.dcs.iter().map(|d| d.letter()).collect();
+        let planners: Vec<&str> = self.planners.iter().map(|k| k.label()).collect();
+        let faults = self
+            .faults
+            .as_ref()
+            .map_or_else(|| "none".to_owned(), encode_fault_config);
+        let maxh = self
+            .budget
+            .max_hours
+            .map_or_else(|| "none".to_owned(), |h| h.to_string());
+        let maxs = self
+            .budget
+            .max_wall_secs
+            .map_or_else(|| "none".to_owned(), enc_f64);
+        format!(
+            "spec v1 seed {} scale {} history {} eval {} ckpt {} dcs {} planners {} maxhours {} maxsecs {} faults {}",
+            self.seed,
+            enc_f64(self.scale),
+            self.history_days,
+            self.eval_days,
+            self.checkpoint_every_hours,
+            dcs,
+            planners.join(","),
+            maxh,
+            maxs,
+            faults,
+        )
+    }
+
+    /// Decodes [`encode`](Self::encode) output.
+    ///
+    /// # Errors
+    ///
+    /// [`SuperviseError::Spec`] on malformed input.
+    pub fn decode(line: &str) -> Result<Self, SuperviseError> {
+        let bad = |detail: &str| SuperviseError::Spec {
+            detail: detail.to_owned(),
+        };
+        let mut t = Toks::new(line, 0);
+        let take = |t: &mut Toks<'_>, key: &str| -> Result<(), SuperviseError> {
+            let k = t.str().map_err(SuperviseError::Checkpoint)?;
+            if k == key {
+                Ok(())
+            } else {
+                Err(SuperviseError::Spec {
+                    detail: format!("expected `{key}`, found `{k}`"),
+                })
+            }
+        };
+        take(&mut t, "spec")?;
+        let v = t.str().map_err(SuperviseError::Checkpoint)?;
+        if v != "v1" {
+            return Err(bad("unsupported spec version"));
+        }
+        take(&mut t, "seed")?;
+        let seed = t.u64().map_err(SuperviseError::Checkpoint)?;
+        take(&mut t, "scale")?;
+        let scale = t.f64().map_err(SuperviseError::Checkpoint)?;
+        take(&mut t, "history")?;
+        let history_days = t.usize().map_err(SuperviseError::Checkpoint)?;
+        take(&mut t, "eval")?;
+        let eval_days = t.usize().map_err(SuperviseError::Checkpoint)?;
+        take(&mut t, "ckpt")?;
+        let checkpoint_every_hours = t.usize().map_err(SuperviseError::Checkpoint)?;
+        take(&mut t, "dcs")?;
+        let dcs_tok = t.str().map_err(SuperviseError::Checkpoint)?;
+        let dcs = dcs_tok
+            .chars()
+            .map(|c| dc_from_letter(c).ok_or_else(|| bad("unknown data-center letter")))
+            .collect::<Result<Vec<_>, _>>()?;
+        take(&mut t, "planners")?;
+        let planners_tok = t.str().map_err(SuperviseError::Checkpoint)?;
+        let planners = planners_tok
+            .split(',')
+            .map(|l| PlannerKind::parse(l).ok_or_else(|| bad("unknown planner label")))
+            .collect::<Result<Vec<_>, _>>()?;
+        take(&mut t, "maxhours")?;
+        let maxh = t.str().map_err(SuperviseError::Checkpoint)?;
+        let max_hours = if maxh == "none" {
+            None
+        } else {
+            Some(maxh.parse().map_err(|_| bad("bad maxhours"))?)
+        };
+        take(&mut t, "maxsecs")?;
+        let maxs = t.str().map_err(SuperviseError::Checkpoint)?;
+        let max_wall_secs = if maxs == "none" {
+            None
+        } else {
+            Some(f64::from_bits(
+                u64::from_str_radix(maxs, 16).map_err(|_| bad("bad maxsecs"))?,
+            ))
+        };
+        take(&mut t, "faults")?;
+        // The fault config is the remainder of the line: either the
+        // literal `none` or the 13-token fault-config encoding.
+        let faults_payload = line
+            .split_once(" faults ")
+            .map(|(_, f)| f.trim())
+            .ok_or_else(|| bad("missing faults field"))?;
+        let faults = if faults_payload == "none" {
+            None
+        } else {
+            let mut ft = Toks::new(faults_payload, 0);
+            Some(decode_fault_config(&mut ft).map_err(SuperviseError::Checkpoint)?)
+        };
+        Ok(Self {
+            dcs,
+            planners,
+            scale,
+            seed,
+            history_days,
+            eval_days,
+            faults,
+            checkpoint_every_hours,
+            budget: CellBudget {
+                max_wall_secs,
+                max_hours,
+            },
+        })
+    }
+}
+
+fn dc_from_letter(c: char) -> Option<DataCenterId> {
+    DataCenterId::ALL.into_iter().find(|d| d.letter() == c)
+}
+
+/// Whether the whole grid ran to the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyStatus {
+    /// Every cell reached a terminal outcome; results were written.
+    Completed,
+    /// Cancelled mid-run; the journal holds a checkpoint to resume from.
+    Interrupted,
+}
+
+/// The (possibly partial) result of a supervised study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    /// What was asked for.
+    pub spec: StudySpec,
+    /// Whether the grid finished.
+    pub status: StudyStatus,
+    /// Cells in grid order (data center major, planner minor). Under
+    /// `Interrupted`, only the cells with a terminal outcome so far.
+    pub cells: Vec<CellReport>,
+    /// A corrupt/truncated journal tail discarded on open, if any.
+    pub tail_dropped: Option<TailCorruption>,
+}
+
+/// Errors of the supervisor itself (cell-level failures are recorded as
+/// [`CellOutcome::Aborted`] instead).
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// Journal I/O or framing.
+    Journal(JournalError),
+    /// A checkpoint failed to decode or belongs to a different run.
+    Checkpoint(CheckpointError),
+    /// A replay invariant was violated at a checkpoint boundary.
+    Invariant {
+        /// The violation.
+        violation: InvariantViolation,
+        /// Journal record index at which it was detected.
+        record: usize,
+    },
+    /// The study spec (journal config record or CLI) is malformed.
+    Spec {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The journal has no config record to resume from.
+    MissingConfig {
+        /// The journal path.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperviseError::Journal(e) => e.fmt(f),
+            SuperviseError::Checkpoint(e) => e.fmt(f),
+            SuperviseError::Invariant { violation, record } => {
+                write!(f, "{violation} (journal record {record})")
+            }
+            SuperviseError::Spec { detail } => write!(f, "invalid study spec: {detail}"),
+            SuperviseError::MissingConfig { path } => {
+                write!(f, "{} has no study config record", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl From<JournalError> for SuperviseError {
+    fn from(e: JournalError) -> Self {
+        SuperviseError::Journal(e)
+    }
+}
+
+impl From<CheckpointError> for SuperviseError {
+    fn from(e: CheckpointError) -> Self {
+        SuperviseError::Checkpoint(e)
+    }
+}
+
+/// Journal file name inside a study directory.
+pub const JOURNAL_FILE: &str = "journal.vmcwj";
+
+/// Starts a fresh supervised study in `dir`, journaling to
+/// `dir/journal.vmcwj`.
+///
+/// # Errors
+///
+/// [`JournalError::AlreadyExists`] if the directory already holds a
+/// journal (resume it instead), plus journal/checkpoint errors.
+pub fn run_study(
+    spec: &StudySpec,
+    dir: &Path,
+    token: &CancelToken,
+) -> Result<StudyReport, SuperviseError> {
+    std::fs::create_dir_all(dir).map_err(|source| {
+        SuperviseError::Journal(JournalError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })
+    })?;
+    let mut journal = Journal::create(&dir.join(JOURNAL_FILE))?;
+    journal.append(format!("config {}", spec.encode()).as_bytes())?;
+    drive(
+        spec.clone(),
+        journal,
+        BTreeMap::new(),
+        BTreeMap::new(),
+        false,
+        None,
+        dir,
+        token,
+    )
+}
+
+/// Resumes (or idempotently re-finalises) the study journaled in `dir`.
+///
+/// Completed cells are restored from their journaled reports, the
+/// interrupted cell from its last checkpoint; the final report is
+/// byte-identical to an uninterrupted run. `budget` overrides the
+/// journaled per-cell budgets for this session when given.
+///
+/// # Errors
+///
+/// Journal/spec/checkpoint errors; a checkpoint that fails its
+/// invariants or fingerprint aborts the resume rather than silently
+/// recomputing.
+pub fn resume_study(
+    dir: &Path,
+    budget: Option<CellBudget>,
+    token: &CancelToken,
+) -> Result<StudyReport, SuperviseError> {
+    let path = dir.join(JOURNAL_FILE);
+    let (journal, tail) = Journal::open(&path)?;
+    let records = journal.records();
+    let first = records.first().ok_or_else(|| SuperviseError::MissingConfig {
+        path: path.clone(),
+    })?;
+    let config_line = std::str::from_utf8(first)
+        .ok()
+        .and_then(|s| s.strip_prefix("config "))
+        .ok_or_else(|| SuperviseError::MissingConfig { path: path.clone() })?;
+    let mut spec = StudySpec::decode(config_line.trim_end())?;
+    if let Some(b) = budget {
+        spec.budget = b;
+    }
+
+    let mut done: BTreeMap<(char, &'static str), CellReport> = BTreeMap::new();
+    let mut ckpts: BTreeMap<(char, &'static str), ReplayCheckpoint> = BTreeMap::new();
+    let mut run_done = false;
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        let text = std::str::from_utf8(rec).map_err(|_| SuperviseError::Spec {
+            detail: format!("journal record {i} is not UTF-8"),
+        })?;
+        let (head, body) = text.split_once('\n').unwrap_or((text, ""));
+        let mut toks = head.split_whitespace();
+        match toks.next() {
+            Some("cell-start") => {}
+            Some("run-done") => run_done = true,
+            Some("checkpoint") => {
+                let (dc, kind) = cell_key(&mut toks, i)?;
+                let ckpt = ReplayCheckpoint::decode(body)?;
+                ckpts.insert((dc.letter(), kind.label()), ckpt);
+            }
+            Some("cell-done") => {
+                let (dc, kind) = cell_key(&mut toks, i)?;
+                let outcome_word = toks.next().ok_or_else(|| SuperviseError::Spec {
+                    detail: format!("journal record {i}: missing cell outcome"),
+                })?;
+                let cell = match outcome_word {
+                    "aborted" => CellReport {
+                        dc,
+                        kind,
+                        outcome: CellOutcome::Aborted {
+                            error: toks.collect::<Vec<_>>().join(" "),
+                        },
+                        report: None,
+                        cost: None,
+                    },
+                    word @ ("completed" | "degraded") => {
+                        let outcome = if word == "completed" {
+                            CellOutcome::Completed
+                        } else {
+                            let hours_done = toks
+                                .next()
+                                .and_then(|h| h.parse().ok())
+                                .ok_or_else(|| SuperviseError::Spec {
+                                    detail: format!("journal record {i}: bad degraded hours"),
+                                })?;
+                            CellOutcome::Degraded {
+                                reason: toks.collect::<Vec<_>>().join(" "),
+                                hours_done,
+                            }
+                        };
+                        let (cost_line, report_wire) =
+                            body.split_once('\n').ok_or_else(|| SuperviseError::Spec {
+                                detail: format!("journal record {i}: missing cell body"),
+                            })?;
+                        CellReport {
+                            dc,
+                            kind,
+                            outcome,
+                            report: Some(decode_report(report_wire)?),
+                            cost: Some(decode_cost(cost_line)?),
+                        }
+                    }
+                    other => {
+                        return Err(SuperviseError::Spec {
+                            detail: format!("journal record {i}: unknown outcome `{other}`"),
+                        })
+                    }
+                };
+                ckpts.remove(&(dc.letter(), kind.label()));
+                done.insert((dc.letter(), kind.label()), cell);
+            }
+            other => {
+                return Err(SuperviseError::Spec {
+                    detail: format!("journal record {i}: unknown record `{other:?}`"),
+                })
+            }
+        }
+    }
+
+    drive(spec, journal, done, ckpts, run_done, tail, dir, token)
+}
+
+fn cell_key<'a>(
+    toks: &mut impl Iterator<Item = &'a str>,
+    record: usize,
+) -> Result<(DataCenterId, PlannerKind), SuperviseError> {
+    let bad = |detail: String| SuperviseError::Spec { detail };
+    let letter = toks
+        .next()
+        .and_then(|s| (s.len() == 1).then(|| s.chars().next().unwrap()))
+        .ok_or_else(|| bad(format!("journal record {record}: missing data-center letter")))?;
+    let dc = dc_from_letter(letter)
+        .ok_or_else(|| bad(format!("journal record {record}: unknown data center `{letter}`")))?;
+    let kind = toks
+        .next()
+        .and_then(PlannerKind::parse)
+        .ok_or_else(|| bad(format!("journal record {record}: unknown planner")))?;
+    Ok((dc, kind))
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn drive(
+    spec: StudySpec,
+    mut journal: Journal,
+    done: BTreeMap<(char, &'static str), CellReport>,
+    ckpts: BTreeMap<(char, &'static str), ReplayCheckpoint>,
+    run_done: bool,
+    tail_dropped: Option<TailCorruption>,
+    dir: &Path,
+    token: &CancelToken,
+) -> Result<StudyReport, SuperviseError> {
+    let mut cells: Vec<CellReport> = Vec::new();
+    let mut studies: Vec<(char, Study)> = Vec::new();
+    let mut interrupted = false;
+
+    'grid: for &dc in &spec.dcs {
+        for &kind in &spec.planners {
+            let key = (dc.letter(), kind.label());
+            if let Some(cell) = done.get(&key) {
+                cells.push(cell.clone());
+                continue;
+            }
+            if token.is_cancelled() {
+                interrupted = true;
+                break 'grid;
+            }
+            let study = match studies.iter().find(|(l, _)| *l == dc.letter()) {
+                Some((_, s)) => s,
+                None => {
+                    let s = Study::prepare(&spec.study_config(dc));
+                    studies.push((dc.letter(), s));
+                    &studies.last().unwrap().1
+                }
+            };
+            let config = *study.config();
+            let plan = match study.plan(kind) {
+                Ok(p) => p,
+                Err(e) => {
+                    let cell = CellReport {
+                        dc,
+                        kind,
+                        outcome: CellOutcome::Aborted {
+                            error: e.to_string(),
+                        },
+                        report: None,
+                        cost: None,
+                    };
+                    append_cell_done(&mut journal, &cell)?;
+                    cells.push(cell);
+                    continue;
+                }
+            };
+            let n_hosts = plan.dc.len();
+            let mut prev_ckpt = ckpts.get(&key).cloned();
+            let mut replay = match prev_ckpt.as_ref() {
+                Some(ck) => Replay::resume(
+                    study.input(),
+                    &plan,
+                    &config.emulator,
+                    spec.faults.as_ref(),
+                    ck,
+                )?,
+                None => {
+                    journal.append(
+                        format!("cell-start {} {}", dc.letter(), kind.label()).as_bytes(),
+                    )?;
+                    match Replay::new(
+                        study.input(),
+                        &plan,
+                        &config.emulator,
+                        spec.faults.as_ref(),
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let cell = CellReport {
+                                dc,
+                                kind,
+                                outcome: CellOutcome::Aborted {
+                                    error: e.to_string(),
+                                },
+                                report: None,
+                                cost: None,
+                            };
+                            append_cell_done(&mut journal, &cell)?;
+                            cells.push(cell);
+                            continue;
+                        }
+                    }
+                }
+            };
+
+            let cell_started = Instant::now();
+            let outcome = loop {
+                if token.is_cancelled() {
+                    let ck = replay.checkpoint();
+                    append_checkpoint(&mut journal, dc, kind, &ck)?;
+                    interrupted = true;
+                    break 'grid;
+                }
+                if replay.is_done() {
+                    break CellOutcome::Completed;
+                }
+                if let Some(max_hours) = spec.budget.max_hours {
+                    if replay.hour() >= max_hours {
+                        break CellOutcome::Degraded {
+                            reason: format!("step budget of {max_hours} hours exhausted"),
+                            hours_done: replay.hour(),
+                        };
+                    }
+                }
+                if let Some(max_secs) = spec.budget.max_wall_secs {
+                    let elapsed = cell_started.elapsed().as_secs_f64();
+                    if elapsed > max_secs {
+                        break CellOutcome::Degraded {
+                            reason: format!("wall-clock budget of {max_secs}s exhausted"),
+                            hours_done: replay.hour(),
+                        };
+                    }
+                }
+                if let Err(e) = replay.step() {
+                    break CellOutcome::Aborted {
+                        error: e.to_string(),
+                    };
+                }
+                token.note_hour();
+                if replay.hour() % spec.checkpoint_every_hours == 0 || replay.is_done() {
+                    let ck = replay.checkpoint();
+                    check_checkpoint(&ck, n_hosts, prev_ckpt.as_ref()).map_err(|violation| {
+                        SuperviseError::Invariant {
+                            violation,
+                            record: journal.records().len(),
+                        }
+                    })?;
+                    append_checkpoint(&mut journal, dc, kind, &ck)?;
+                    prev_ckpt = Some(ck);
+                }
+            };
+
+            let cell = match outcome {
+                CellOutcome::Aborted { error } => CellReport {
+                    dc,
+                    kind,
+                    outcome: CellOutcome::Aborted { error },
+                    report: None,
+                    cost: None,
+                },
+                outcome => {
+                    let report = replay.into_report();
+                    let cost = cost_summary(&report, &config.cost_model);
+                    CellReport {
+                        dc,
+                        kind,
+                        outcome,
+                        report: Some(report),
+                        cost: Some(cost),
+                    }
+                }
+            };
+            append_cell_done(&mut journal, &cell)?;
+            cells.push(cell);
+        }
+    }
+
+    let status = if interrupted {
+        StudyStatus::Interrupted
+    } else {
+        StudyStatus::Completed
+    };
+    if status == StudyStatus::Completed {
+        if !run_done {
+            journal.append(b"run-done")?;
+        }
+        let report = StudyReport {
+            spec,
+            status,
+            cells,
+            tail_dropped,
+        };
+        write_outputs(dir, &report)?;
+        return Ok(report);
+    }
+    Ok(StudyReport {
+        spec,
+        status,
+        cells,
+        tail_dropped,
+    })
+}
+
+fn append_checkpoint(
+    journal: &mut Journal,
+    dc: DataCenterId,
+    kind: PlannerKind,
+    ck: &ReplayCheckpoint,
+) -> Result<(), SuperviseError> {
+    let payload = format!(
+        "checkpoint {} {}\n{}",
+        dc.letter(),
+        kind.label(),
+        ck.encode()
+    );
+    journal.append(payload.as_bytes())?;
+    Ok(())
+}
+
+fn append_cell_done(journal: &mut Journal, cell: &CellReport) -> Result<(), SuperviseError> {
+    let head = match &cell.outcome {
+        CellOutcome::Completed => {
+            format!("cell-done {} {} completed", cell.dc.letter(), cell.kind.label())
+        }
+        CellOutcome::Degraded { reason, hours_done } => format!(
+            "cell-done {} {} degraded {hours_done} {reason}",
+            cell.dc.letter(),
+            cell.kind.label()
+        ),
+        CellOutcome::Aborted { error } => format!(
+            "cell-done {} {} aborted {error}",
+            cell.dc.letter(),
+            cell.kind.label()
+        ),
+    };
+    let payload = match (&cell.cost, &cell.report) {
+        (Some(cost), Some(report)) => {
+            format!("{head}\n{}\n{}", encode_cost(cost), encode_report(report))
+        }
+        _ => head,
+    };
+    journal.append(payload.as_bytes())?;
+    Ok(())
+}
+
+/// Renders the per-cell results table (`cells.csv`). Deterministic: no
+/// timestamps or timings, and the digest column is the FNV-1a of the
+/// cell report's canonical encoding, so two bit-identical runs produce
+/// byte-identical CSVs.
+#[must_use]
+pub fn cells_table(report: &StudyReport) -> Table {
+    let mut t = Table::new(
+        "cells",
+        &[
+            "dc",
+            "planner",
+            "outcome",
+            "hours",
+            "hosts",
+            "energy_kwh",
+            "migrations",
+            "crashes",
+            "evacuations",
+            "downtime_vm_hours",
+            "stale_sample_hours",
+            "space_cost",
+            "power_cost",
+            "digest",
+        ],
+    );
+    for cell in &report.cells {
+        let (hours, hosts, energy, migrations, crashes, evac, down, stale, digest) =
+            match &cell.report {
+                Some(r) => (
+                    r.hours.to_string(),
+                    r.provisioned_hosts.to_string(),
+                    fnum(r.energy_kwh, 3),
+                    r.migrations.to_string(),
+                    r.faults.host_crashes.to_string(),
+                    r.faults.evacuations.to_string(),
+                    r.faults.downtime_vm_hours.to_string(),
+                    r.faults.stale_sample_hours.to_string(),
+                    format!("{:016x}", fnv1a(encode_report(r).as_bytes())),
+                ),
+                None => (
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ),
+            };
+        let (space, power) = match &cell.cost {
+            Some(c) => (fnum(c.space_cost, 2), fnum(c.power_cost, 2)),
+            None => ("-".into(), "-".into()),
+        };
+        t.push_row([
+            cell.dc.letter().to_string(),
+            cell.kind.label().to_owned(),
+            cell.outcome.label().to_owned(),
+            hours,
+            hosts,
+            energy,
+            migrations,
+            crashes,
+            evac,
+            down,
+            stale,
+            space,
+            power,
+            digest,
+        ]);
+    }
+    t
+}
+
+fn write_outputs(dir: &Path, report: &StudyReport) -> Result<(), SuperviseError> {
+    let io_err = |path: &Path| {
+        let path = path.to_path_buf();
+        move |source| {
+            SuperviseError::Journal(JournalError::Io {
+                path: path.clone(),
+                source,
+            })
+        }
+    };
+    let csv_path = dir.join("cells.csv");
+    write_atomic(&csv_path, cells_table(report).to_csv().as_bytes())
+        .map_err(io_err(&csv_path))?;
+    let md_path = dir.join("STUDY.md");
+    let md = crate::experiments::study_markdown(report);
+    write_atomic(&md_path, md.as_bytes()).map_err(io_err(&md_path))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vmcw-supervise-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> StudySpec {
+        StudySpec {
+            dcs: vec![DataCenterId::Airlines],
+            planners: vec![PlannerKind::SemiStatic, PlannerKind::Dynamic],
+            ..StudySpec::new(0.02, 5, 5, 1)
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_its_encoding() {
+        let mut spec = StudySpec::new(0.05, 42, 7, 5);
+        spec.faults = Some(FaultConfig::baseline(31));
+        spec.budget = CellBudget {
+            max_wall_secs: Some(12.5),
+            max_hours: Some(48),
+        };
+        let decoded = StudySpec::decode(&spec.encode()).unwrap();
+        assert_eq!(spec, decoded);
+        // And the none-variants too.
+        let plain = StudySpec::new(1.0, 0, 30, 14);
+        assert_eq!(plain, StudySpec::decode(&plain.encode()).unwrap());
+    }
+
+    #[test]
+    fn fresh_study_completes_and_writes_outputs() {
+        let dir = tmp_dir("fresh");
+        let report = run_study(&tiny_spec(), &dir, &CancelToken::new()).unwrap();
+        assert_eq!(report.status, StudyStatus::Completed);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.outcome, CellOutcome::Completed);
+            assert_eq!(cell.report.as_ref().unwrap().hours, 24);
+        }
+        assert!(dir.join("cells.csv").exists());
+        assert!(dir.join("STUDY.md").exists());
+        // Starting over in the same directory is refused.
+        let err = run_study(&tiny_spec(), &dir, &CancelToken::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            SuperviseError::Journal(JournalError::AlreadyExists { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_budget_cells_degrade_instead_of_killing_the_study() {
+        let dir = tmp_dir("degraded");
+        let mut spec = tiny_spec();
+        spec.budget.max_hours = Some(10);
+        let report = run_study(&spec, &dir, &CancelToken::new()).unwrap();
+        assert_eq!(report.status, StudyStatus::Completed);
+        for cell in &report.cells {
+            match &cell.outcome {
+                CellOutcome::Degraded { hours_done, .. } => assert_eq!(*hours_done, 10),
+                other => panic!("expected degraded, got {other:?}"),
+            }
+            let r = cell.report.as_ref().unwrap();
+            assert_eq!(r.hours, 10, "partial report covers completed hours");
+            assert!(cell.cost.is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_study_resumes_to_identical_reports() {
+        let clean_dir = tmp_dir("clean");
+        let spec = tiny_spec();
+        let clean = run_study(&spec, &clean_dir, &CancelToken::new()).unwrap();
+
+        let killed_dir = tmp_dir("killed");
+        let token = CancelToken::new();
+        token.cancel_after_hours(30); // mid second cell
+        let partial = run_study(&spec, &killed_dir, &token).unwrap();
+        assert_eq!(partial.status, StudyStatus::Interrupted);
+        assert!(partial.cells.len() < clean.cells.len() || partial.cells.is_empty());
+
+        let resumed = resume_study(&killed_dir, None, &CancelToken::new()).unwrap();
+        assert_eq!(resumed.status, StudyStatus::Completed);
+        assert_eq!(resumed.cells.len(), clean.cells.len());
+        for (a, b) in clean.cells.iter().zip(&resumed.cells) {
+            assert_eq!(
+                encode_report(a.report.as_ref().unwrap()),
+                encode_report(b.report.as_ref().unwrap()),
+                "cell {}/{} diverged",
+                a.dc.letter(),
+                a.kind.label()
+            );
+        }
+        // cells.csv must be byte-identical too.
+        assert_eq!(
+            std::fs::read(clean_dir.join("cells.csv")).unwrap(),
+            std::fs::read(killed_dir.join("cells.csv")).unwrap()
+        );
+        // Resuming a completed journal is idempotent.
+        let again = resume_study(&killed_dir, None, &CancelToken::new()).unwrap();
+        assert_eq!(again.cells.len(), clean.cells.len());
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&killed_dir);
+    }
+
+    #[test]
+    fn resume_without_journal_fails_cleanly() {
+        let dir = tmp_dir("nojournal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = resume_study(&dir, None, &CancelToken::new()).unwrap_err();
+        assert!(matches!(err, SuperviseError::Journal(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_token_fires_after_armed_hours() {
+        let t = CancelToken::new();
+        t.cancel_after_hours(3);
+        assert!(!t.is_cancelled());
+        t.note_hour();
+        t.note_hour();
+        assert!(!t.is_cancelled());
+        t.note_hour();
+        assert!(t.is_cancelled());
+    }
+}

@@ -21,6 +21,9 @@ use vmcw_consolidation::planner::ConsolidationPlan;
 use vmcw_migration::precopy::{HostLoad, PrecopyConfig, VmMigrationProfile};
 use vmcw_migration::reliability::ReliabilityThresholds;
 
+use crate::checkpoint::{
+    CheckpointError, FaultStateCheckpoint, HostAccState, ReplayCheckpoint,
+};
 use crate::faults::{
     migration_attempt_fails, sample_dropped, CrashSchedule, FaultConfig, FaultLedger,
     TraceGapError, TraceGapReason,
@@ -234,7 +237,7 @@ pub fn emulate(
     plan: &ConsolidationPlan,
     config: &EmulatorConfig,
 ) -> Result<EmulationReport, EmulatorError> {
-    replay(input, plan, config, None)
+    replay_to_completion(input, plan, config, None)
 }
 
 /// Replays the evaluation window with seeded fault injection: host
@@ -256,13 +259,26 @@ pub fn emulate_with_faults(
     config: &EmulatorConfig,
     faults: &FaultConfig,
 ) -> Result<EmulationReport, EmulatorError> {
-    faults.validate()?;
-    replay(input, plan, config, Some(faults))
+    replay_to_completion(input, plan, config, Some(faults))
+}
+
+fn replay_to_completion(
+    input: &PlanningInput,
+    plan: &ConsolidationPlan,
+    config: &EmulatorConfig,
+    faults: Option<&FaultConfig>,
+) -> Result<EmulationReport, EmulatorError> {
+    let mut replay = Replay::new(input, plan, config, faults)?;
+    while !replay.is_done() {
+        replay.step()?;
+    }
+    Ok(replay.into_report())
 }
 
 /// Mutable fault-replay state mutated between hours (crash bookkeeping,
 /// migration chasing, evacuation). Sample-survival state lives outside so
 /// the demand loop can hold `current` immutably while updating it.
+#[derive(Debug)]
 struct FaultState {
     schedule: CrashSchedule,
     /// The placement actually in effect, chasing the plan's target
@@ -274,40 +290,22 @@ struct FaultState {
     precopy: PrecopyConfig,
 }
 
-fn replay(
-    input: &PlanningInput,
-    plan: &ConsolidationPlan,
-    config: &EmulatorConfig,
-    faults: Option<&FaultConfig>,
-) -> Result<EmulationReport, EmulatorError> {
-    let eval = input.eval_range();
-    let hours = eval.len();
-    let n_hosts = plan.dc.len();
-    // Per-host capacities: heterogeneous pools are supported; the
-    // homogeneous paper-scale studies see identical values everywhere.
-    let capacities: Vec<Resources> = plan.dc.iter().map(|h| h.model.capacity()).collect();
-    let mut ledger = FaultLedger::default();
-    let mut state: Option<FaultState> = faults.map(|f| FaultState {
-        schedule: CrashSchedule::generate(f, n_hosts, hours),
-        current: plan.placements.at_hour(0).clone(),
-        was_down: vec![false; n_hosts],
-        down_vms: BTreeSet::new(),
-        precopy: PrecopyConfig::gigabit(),
-    });
-    // Per-VM last good sample and its staleness, for dropout survival.
-    let mut last_good: BTreeMap<VmId, (Resources, usize)> = BTreeMap::new();
+/// Per-host running aggregate (checkpointed losslessly as
+/// [`HostAccState`]).
+#[derive(Debug)]
+struct HostAcc {
+    active_hours: usize,
+    cpu_util_sum: f64,
+    mem_util_sum: f64,
+    peak_cpu: f64,
+    peak_mem: f64,
+    contention_hours: usize,
+    unreliable_hours: usize,
+}
 
-    struct HostAcc {
-        active_hours: usize,
-        cpu_util_sum: f64,
-        mem_util_sum: f64,
-        peak_cpu: f64,
-        peak_mem: f64,
-        contention_hours: usize,
-        unreliable_hours: usize,
-    }
-    let mut accs: Vec<HostAcc> = (0..n_hosts)
-        .map(|_| HostAcc {
+impl HostAcc {
+    fn zero() -> Self {
+        Self {
             active_hours: 0,
             cpu_util_sum: 0.0,
             mem_util_sum: 0.0,
@@ -315,23 +313,262 @@ fn replay(
             peak_mem: 0.0,
             contention_hours: 0,
             unreliable_hours: 0,
-        })
-        .collect();
-    let mut per_hour = Vec::with_capacity(hours);
-    let mut energy_wh = 0.0;
-    let mut cpu_contention_samples = Vec::new();
-    let mut prev_target: *const Placement = std::ptr::null();
+        }
+    }
+}
 
-    for h in 0..hours {
-        let target = plan.placements.at_hour(h);
-        let boundary = !std::ptr::eq(prev_target, target);
-        prev_target = target;
-        if let (Some(fcfg), Some(st)) = (faults, state.as_mut()) {
+/// A stepwise, checkpointable replay of one plan.
+///
+/// [`emulate`] / [`emulate_with_faults`] drive a `Replay` to completion
+/// in one call; a crash-safe study instead calls [`Replay::step`] one
+/// hour at a time, taking a [`ReplayCheckpoint`] at its cadence and
+/// rebuilding via [`Replay::resume`] after an interruption. Resuming
+/// from any checkpoint yields a final report *bit-identical* to an
+/// uninterrupted run: checkpoints carry every accumulator as raw IEEE
+/// bits and the in-effect placement in its exact storage order, and the
+/// keyed fault streams need no RNG state beyond the seed.
+#[derive(Debug)]
+pub struct Replay<'a> {
+    input: &'a PlanningInput,
+    plan: &'a ConsolidationPlan,
+    config: &'a EmulatorConfig,
+    faults: Option<FaultConfig>,
+    capacities: Vec<Resources>,
+    fingerprint: u64,
+    hours: usize,
+    hour: usize,
+    ledger: FaultLedger,
+    state: Option<FaultState>,
+    last_good: BTreeMap<VmId, (Resources, usize)>,
+    accs: Vec<HostAcc>,
+    per_hour: Vec<HourSummary>,
+    energy_wh: f64,
+    cpu_contention_samples: Vec<f64>,
+}
+
+impl<'a> Replay<'a> {
+    /// Starts a replay at hour 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulatorError::InvalidFaultConfig`] for invalid fault
+    /// parameters.
+    pub fn new(
+        input: &'a PlanningInput,
+        plan: &'a ConsolidationPlan,
+        config: &'a EmulatorConfig,
+        faults: Option<&FaultConfig>,
+    ) -> Result<Self, EmulatorError> {
+        if let Some(f) = faults {
+            f.validate()?;
+        }
+        let hours = input.eval_range().len();
+        let n_hosts = plan.dc.len();
+        // Per-host capacities: heterogeneous pools are supported; the
+        // homogeneous paper-scale studies see identical values everywhere.
+        let capacities: Vec<Resources> = plan.dc.iter().map(|h| h.model.capacity()).collect();
+        let state = faults.map(|f| FaultState {
+            schedule: CrashSchedule::generate(f, n_hosts, hours),
+            current: plan.placements.at_hour(0).clone(),
+            was_down: vec![false; n_hosts],
+            down_vms: BTreeSet::new(),
+            precopy: PrecopyConfig::gigabit(),
+        });
+        Ok(Self {
+            input,
+            plan,
+            config,
+            faults: faults.copied(),
+            capacities,
+            fingerprint: run_fingerprint(plan, config, faults, n_hosts, hours),
+            hours,
+            hour: 0,
+            ledger: FaultLedger::default(),
+            state,
+            last_good: BTreeMap::new(),
+            accs: (0..n_hosts).map(|_| HostAcc::zero()).collect(),
+            per_hour: Vec::with_capacity(hours),
+            energy_wh: 0.0,
+            cpu_contention_samples: Vec::new(),
+        })
+    }
+
+    /// Rebuilds a replay mid-run from a checkpoint taken by an earlier
+    /// (interrupted) replay of the *same* plan and configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] if the checkpoint belongs to a
+    /// different plan/config (fingerprint, fleet size, horizon, or fault
+    /// presence differ), [`CheckpointError::Invariant`] if the checkpoint
+    /// violates a replay invariant.
+    pub fn resume(
+        input: &'a PlanningInput,
+        plan: &'a ConsolidationPlan,
+        config: &'a EmulatorConfig,
+        faults: Option<&FaultConfig>,
+        ckpt: &ReplayCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        let mut fresh = Self::new(input, plan, config, faults).map_err(|e| {
+            CheckpointError::Mismatch {
+                detail: e.to_string(),
+            }
+        })?;
+        let mismatch = |detail: String| CheckpointError::Mismatch { detail };
+        if ckpt.fingerprint != fresh.fingerprint {
+            return Err(mismatch(format!(
+                "fingerprint {:016x} != expected {:016x}",
+                ckpt.fingerprint, fresh.fingerprint
+            )));
+        }
+        if ckpt.total_hours != fresh.hours {
+            return Err(mismatch(format!(
+                "checkpoint horizon {} != plan horizon {}",
+                ckpt.total_hours, fresh.hours
+            )));
+        }
+        if ckpt.fault.is_some() != fresh.state.is_some() {
+            return Err(mismatch(
+                "fault-injection presence differs from checkpoint".into(),
+            ));
+        }
+        crate::validate::check_checkpoint(ckpt, fresh.accs.len(), None)?;
+
+        fresh.hour = ckpt.hour;
+        fresh.ledger = ckpt.ledger;
+        fresh.energy_wh = ckpt.energy_wh;
+        fresh.accs = ckpt
+            .accs
+            .iter()
+            .map(|a| HostAcc {
+                active_hours: a.active_hours,
+                cpu_util_sum: a.cpu_util_sum,
+                mem_util_sum: a.mem_util_sum,
+                peak_cpu: a.peak_cpu,
+                peak_mem: a.peak_mem,
+                contention_hours: a.contention_hours,
+                unreliable_hours: a.unreliable_hours,
+            })
+            .collect();
+        fresh.per_hour = ckpt.per_hour.clone();
+        fresh.cpu_contention_samples = ckpt.cpu_contention_samples.clone();
+        fresh.last_good = ckpt
+            .last_good
+            .iter()
+            .map(|&(vm, r, stale)| (vm, (r, stale)))
+            .collect();
+        if let (Some(fs), Some(st)) = (&ckpt.fault, fresh.state.as_mut()) {
+            // Replaying the recorded per-host VM lists through assign()
+            // reproduces the engine's exact storage order, hence the
+            // exact f64 summation order of the interrupted run.
+            let mut current = Placement::new();
+            for (host, vms) in &fs.current {
+                for &vm in vms {
+                    current.assign(vm, *host);
+                }
+            }
+            st.current = current;
+            st.was_down = fs.was_down.clone();
+            st.down_vms = fs.down_vms.iter().copied().collect();
+        }
+        Ok(fresh)
+    }
+
+    /// The next hour to replay (== hours completed so far).
+    #[must_use]
+    pub fn hour(&self) -> usize {
+        self.hour
+    }
+
+    /// The full evaluation horizon.
+    #[must_use]
+    pub fn total_hours(&self) -> usize {
+        self.hours
+    }
+
+    /// Whether every evaluation hour has been replayed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.hour >= self.hours
+    }
+
+    /// Captures the complete replay state at the current hour boundary.
+    #[must_use]
+    pub fn checkpoint(&self) -> ReplayCheckpoint {
+        ReplayCheckpoint {
+            fingerprint: self.fingerprint,
+            hour: self.hour,
+            total_hours: self.hours,
+            ledger: self.ledger,
+            energy_wh: self.energy_wh,
+            accs: self
+                .accs
+                .iter()
+                .map(|a| HostAccState {
+                    active_hours: a.active_hours,
+                    cpu_util_sum: a.cpu_util_sum,
+                    mem_util_sum: a.mem_util_sum,
+                    peak_cpu: a.peak_cpu,
+                    peak_mem: a.peak_mem,
+                    contention_hours: a.contention_hours,
+                    unreliable_hours: a.unreliable_hours,
+                })
+                .collect(),
+            per_hour: self.per_hour.clone(),
+            cpu_contention_samples: self.cpu_contention_samples.clone(),
+            last_good: self
+                .last_good
+                .iter()
+                .map(|(&vm, &(r, stale))| (vm, r, stale))
+                .collect(),
+            fault: self.state.as_ref().map(|st| FaultStateCheckpoint {
+                current: st
+                    .current
+                    .active_hosts()
+                    .into_iter()
+                    .map(|h| (h, st.current.vms_on(h).to_vec()))
+                    .collect(),
+                was_down: st.was_down.clone(),
+                down_vms: st.down_vms.iter().copied().collect(),
+            }),
+        }
+    }
+
+    /// Replays one evaluation hour.
+    ///
+    /// # Errors
+    ///
+    /// Structural plan errors and unsurvivable trace gaps, as for
+    /// [`emulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay is already complete.
+    pub fn step(&mut self) -> Result<(), EmulatorError> {
+        assert!(!self.is_done(), "replay already complete");
+        let h = self.hour;
+        let eval = self.input.eval_range();
+        let target = self.plan.placements.at_hour(h);
+        // An interval boundary is where the in-effect placement changes;
+        // recomputing it from h-1 (rather than carrying loop state) keeps
+        // step() resumable at any hour.
+        let boundary = h == 0 || !std::ptr::eq(self.plan.placements.at_hour(h - 1), target);
+        if let (Some(fcfg), Some(st)) = (self.faults.as_ref(), self.state.as_mut()) {
             step_faults(
-                input, plan, config, fcfg, st, target, boundary, h, &capacities, &mut ledger,
+                self.input,
+                self.plan,
+                self.config,
+                fcfg,
+                st,
+                target,
+                boundary,
+                h,
+                &self.capacities,
+                &mut self.ledger,
             );
         }
-        let state = state.as_ref();
+        let faults = self.faults.as_ref();
+        let state = self.state.as_ref();
         let placement: &Placement = state.map_or(target, |st| &st.current);
         let mut active_hosts = 0;
         let mut watts = 0.0;
@@ -351,20 +588,31 @@ fn replay(
             debug_assert!(!vms.is_empty());
             let mut demand = Resources::ZERO;
             for &vm in vms {
-                let t = input.vm_trace(vm).ok_or(EmulatorError::MissingTrace { vm })?;
+                let t = self
+                    .input
+                    .vm_trace(vm)
+                    .ok_or(EmulatorError::MissingTrace { vm })?;
                 let sample = t.demand_at(eval.start + h);
                 let sample = match faults {
-                    Some(fcfg) => {
-                        survive_sample(fcfg, &mut last_good, t, vm, h, eval.start, sample, &mut ledger)?
-                    }
+                    Some(fcfg) => survive_sample(
+                        fcfg,
+                        &mut self.last_good,
+                        t,
+                        vm,
+                        h,
+                        eval.start,
+                        sample,
+                        &mut self.ledger,
+                    )?,
                     None => sample,
                 };
                 demand += sample;
             }
-            if vms.len() > 1 && config.dedup_savings_frac > 0.0 {
-                demand.mem_mb *= 1.0 - config.dedup_savings_frac;
+            if vms.len() > 1 && self.config.dedup_savings_frac > 0.0 {
+                demand.mem_mb *= 1.0 - self.config.dedup_savings_frac;
             }
-            let capacity = *capacities
+            let capacity = *self
+                .capacities
                 .get(host.0 as usize)
                 .ok_or(EmulatorError::UnknownHost { host })?;
             let cpu_util = demand.cpu_rpe2 / capacity.cpu_rpe2;
@@ -372,7 +620,8 @@ fn replay(
             let cpu_cont = (cpu_util - 1.0).max(0.0);
             let mem_cont = (mem_util - 1.0).max(0.0);
 
-            let acc = accs
+            let acc = self
+                .accs
                 .get_mut(host.0 as usize)
                 .ok_or(EmulatorError::UnknownHost { host })?;
             acc.active_hours += 1;
@@ -384,10 +633,11 @@ fn replay(
                 acc.contention_hours += 1;
                 contended_hosts += 1;
                 if cpu_cont > 0.0 {
-                    cpu_contention_samples.push(cpu_cont);
+                    self.cpu_contention_samples.push(cpu_cont);
                 }
             }
-            if !config
+            if !self
+                .config
                 .thresholds
                 .is_reliable(vmcw_migration::precopy::HostLoad::new(cpu_util, mem_util))
             {
@@ -395,7 +645,8 @@ fn replay(
             }
 
             active_hosts += 1;
-            let host_watts = plan
+            let host_watts = self
+                .plan
                 .dc
                 .host(host)
                 .ok_or(EmulatorError::UnknownHost { host })?
@@ -407,8 +658,8 @@ fn replay(
             mem_cont_total += mem_cont;
         }
 
-        energy_wh += watts;
-        per_hour.push(HourSummary {
+        self.energy_wh += watts;
+        self.per_hour.push(HourSummary {
             hour: h,
             active_hosts,
             watts,
@@ -416,43 +667,104 @@ fn replay(
             cpu_contention: cpu_cont_total,
             mem_contention: mem_cont_total,
         });
+        self.hour += 1;
+        Ok(())
     }
 
-    let per_host = accs
-        .into_iter()
-        .enumerate()
-        .map(|(i, a)| HostSummary {
-            host: HostId(i as u32),
-            active_hours: a.active_hours,
-            avg_cpu_util: if a.active_hours > 0 {
-                a.cpu_util_sum / a.active_hours as f64
-            } else {
-                0.0
-            },
-            peak_cpu_util: a.peak_cpu,
-            avg_mem_util: if a.active_hours > 0 {
-                a.mem_util_sum / a.active_hours as f64
-            } else {
-                0.0
-            },
-            peak_mem_util: a.peak_mem,
-            contention_hours: a.contention_hours,
-            unreliable_hours: a.unreliable_hours,
-        })
-        .collect();
+    /// Finalises the replay into a report. For an incomplete replay the
+    /// report is *partial*: `hours` is the completed hour count and every
+    /// aggregate covers only those hours (degraded-cell reporting).
+    #[must_use]
+    pub fn into_report(self) -> EmulationReport {
+        let per_host = self
+            .accs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| HostSummary {
+                host: HostId(i as u32),
+                active_hours: a.active_hours,
+                avg_cpu_util: if a.active_hours > 0 {
+                    a.cpu_util_sum / a.active_hours as f64
+                } else {
+                    0.0
+                },
+                peak_cpu_util: a.peak_cpu,
+                avg_mem_util: if a.active_hours > 0 {
+                    a.mem_util_sum / a.active_hours as f64
+                } else {
+                    0.0
+                },
+                peak_mem_util: a.peak_mem,
+                contention_hours: a.contention_hours,
+                unreliable_hours: a.unreliable_hours,
+            })
+            .collect();
 
-    Ok(EmulationReport {
-        planner: plan.kind,
-        hours,
-        provisioned_hosts: n_hosts,
-        per_host,
-        per_hour,
-        energy_kwh: energy_wh / 1000.0,
-        cpu_contention_samples,
-        migrations: plan.migrations.len(),
-        failed_migrations: plan.migrations.iter().filter(|m| !m.converged).count(),
-        faults: ledger,
-    })
+        EmulationReport {
+            planner: self.plan.kind,
+            hours: self.hour,
+            provisioned_hosts: self.capacities.len(),
+            per_host,
+            per_hour: self.per_hour,
+            energy_kwh: self.energy_wh / 1000.0,
+            cpu_contention_samples: self.cpu_contention_samples,
+            migrations: self.plan.migrations.len(),
+            failed_migrations: self
+                .plan
+                .migrations
+                .iter()
+                .filter(|m| !m.converged)
+                .count(),
+            faults: self.ledger,
+        }
+    }
+}
+
+/// FNV-1a fingerprint binding a checkpoint to its (plan, config, faults)
+/// triple, so `--resume` refuses state from a different run.
+fn run_fingerprint(
+    plan: &ConsolidationPlan,
+    config: &EmulatorConfig,
+    faults: Option<&FaultConfig>,
+    n_hosts: usize,
+    hours: usize,
+) -> u64 {
+    use std::fmt::Write as _;
+    use vmcw_consolidation::planner::PlanPlacements;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{}|{n_hosts}|{hours}|{:016x}|{:016x}|{:016x}|",
+        plan.kind.label(),
+        config.dedup_savings_frac.to_bits(),
+        config.thresholds.max_cpu_util.to_bits(),
+        config.thresholds.max_mem_util.to_bits(),
+    );
+    match faults {
+        Some(f) => {
+            let _ = write!(s, "faults {}|", crate::checkpoint::encode_fault_config(f));
+        }
+        None => s.push_str("faults none|"),
+    }
+    fn hash_placement(s: &mut String, p: &Placement) {
+        for (vm, host) in p.iter() {
+            let _ = write!(s, "{} {};", vm.0, host.0);
+        }
+        s.push('|');
+    }
+    match &plan.placements {
+        PlanPlacements::Fixed(p) => hash_placement(&mut s, p),
+        PlanPlacements::PerInterval {
+            placements,
+            window_hours,
+        } => {
+            let _ = write!(s, "w{window_hours}|");
+            for p in placements {
+                hash_placement(&mut s, p);
+            }
+        }
+    }
+    crate::checkpoint::fnv1a(s.as_bytes())
 }
 
 /// Advances the fault state to hour `h`: crash onsets and recoveries,
@@ -937,6 +1249,123 @@ mod tests {
         let err =
             emulate_with_faults(&input, &plan, &EmulatorConfig::default(), &faults).unwrap_err();
         assert!(matches!(err, EmulatorError::TraceGap(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_at_every_hour() {
+        // Interrupt a faulted replay at several hours, round-trip the
+        // checkpoint through its wire format, resume, and require the
+        // final report to be bit-identical to an uninterrupted run.
+        use crate::checkpoint::ReplayCheckpoint;
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Banking);
+        let cfg = EmulatorConfig::default();
+        let faults = FaultConfig {
+            host_mtbf_hours: 40.0,
+            host_mttr_hours: 3.0,
+            migration_failure_prob: 0.1,
+            trace_dropout_prob: 0.02,
+            ..FaultConfig::baseline(23)
+        };
+        for kind in vmcw_consolidation::planner::PlannerKind::EVALUATED {
+            let plan = planner.plan(kind, &input).unwrap();
+            let baseline = emulate_with_faults(&input, &plan, &cfg, &faults).unwrap();
+            for kill_hour in [1, 13, 29, 71, 72] {
+                let mut first = Replay::new(&input, &plan, &cfg, Some(&faults)).unwrap();
+                for _ in 0..kill_hour {
+                    first.step().unwrap();
+                }
+                let wire = first.checkpoint().encode();
+                let ckpt = ReplayCheckpoint::decode(&wire).unwrap();
+                let mut second =
+                    Replay::resume(&input, &plan, &cfg, Some(&faults), &ckpt).unwrap();
+                assert_eq!(second.hour(), kill_hour);
+                while !second.is_done() {
+                    second.step().unwrap();
+                }
+                let resumed = second.into_report();
+                assert_eq!(
+                    crate::checkpoint::encode_report(&baseline),
+                    crate::checkpoint::encode_report(&resumed),
+                    "{kind:?} diverged after resume at hour {kill_hour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_replay_checkpoints_resume_too() {
+        use crate::checkpoint::ReplayCheckpoint;
+        let (input, planner) = setup(DataCenterId::Airlines);
+        let cfg = EmulatorConfig::default();
+        let plan = planner.plan_dynamic(&input).unwrap();
+        let baseline = emulate(&input, &plan, &cfg).unwrap();
+        let mut first = Replay::new(&input, &plan, &cfg, None).unwrap();
+        for _ in 0..17 {
+            first.step().unwrap();
+        }
+        let ckpt = ReplayCheckpoint::decode(&first.checkpoint().encode()).unwrap();
+        let mut second = Replay::resume(&input, &plan, &cfg, None, &ckpt).unwrap();
+        while !second.is_done() {
+            second.step().unwrap();
+        }
+        assert_eq!(baseline, second.into_report());
+    }
+
+    #[test]
+    fn partial_report_covers_completed_hours_only() {
+        let (input, planner) = setup(DataCenterId::Airlines);
+        let cfg = EmulatorConfig::default();
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let mut replay = Replay::new(&input, &plan, &cfg, None).unwrap();
+        for _ in 0..10 {
+            replay.step().unwrap();
+        }
+        let report = replay.into_report();
+        assert_eq!(report.hours, 10);
+        assert_eq!(report.per_hour.len(), 10);
+        for host in &report.per_host {
+            assert!(host.active_hours <= 10);
+        }
+        let full_energy: f64 = report.per_hour.iter().map(|h| h.watts).sum();
+        assert!((report.energy_kwh - full_energy / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        use crate::checkpoint::CheckpointError;
+        use crate::faults::FaultConfig;
+        let (input, planner) = setup(DataCenterId::Banking);
+        let cfg = EmulatorConfig::default();
+        let semi = planner.plan_semi_static(&input).unwrap();
+        let dynamic = planner.plan_dynamic(&input).unwrap();
+        let mut replay = Replay::new(&input, &semi, &cfg, None).unwrap();
+        replay.step().unwrap();
+        let ckpt = replay.checkpoint();
+        // Different plan → fingerprint mismatch.
+        let err = Replay::resume(&input, &dynamic, &cfg, None, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        // Fault presence must match too.
+        let faults = FaultConfig::disabled();
+        let err = Replay::resume(&input, &semi, &cfg, Some(&faults), &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_invariant_violations() {
+        use crate::checkpoint::CheckpointError;
+        let (input, planner) = setup(DataCenterId::Banking);
+        let cfg = EmulatorConfig::default();
+        let plan = planner.plan_semi_static(&input).unwrap();
+        let mut replay = Replay::new(&input, &plan, &cfg, None).unwrap();
+        for _ in 0..5 {
+            replay.step().unwrap();
+        }
+        let mut ckpt = replay.checkpoint();
+        // Corrupt the accounting: drop a per-hour row.
+        ckpt.per_hour.pop();
+        let err = Replay::resume(&input, &plan, &cfg, None, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Invariant(_)), "{err}");
     }
 
     #[test]

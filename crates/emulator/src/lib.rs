@@ -25,6 +25,9 @@
 //!   HA evacuation, migration failures with retry/backoff, and trace
 //!   dropouts survived by last-good-value hold. One seed yields one
 //!   fault timeline, shared by every planner under comparison.
+//! * [`checkpoint`] — versioned, bit-exact snapshots of a stepwise
+//!   [`engine::Replay`], so an interrupted study resumes to a report
+//!   byte-identical to an uninterrupted run.
 //!
 //! # Example
 //!
@@ -48,14 +51,17 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod checkpoint;
 pub mod engine;
 pub mod faults;
 pub mod report;
 pub mod sla;
 pub mod validate;
 
+pub use checkpoint::{CheckpointError, ReplayCheckpoint};
 pub use engine::{
     emulate, emulate_with_faults, EmulationReport, EmulatorConfig, EmulatorError, HostSummary,
-    HourSummary,
+    HourSummary, Replay,
 };
 pub use faults::{CrashSchedule, FaultConfig, FaultLedger, HostOutage, TraceGapError};
+pub use validate::{check_checkpoint, InvariantViolation, ReplayInvariant};

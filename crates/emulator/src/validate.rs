@@ -18,6 +18,7 @@ use crate::apps::{BatchKernelModel, MicroBenchmark, WebAppModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use vmcw_trace::stats;
 
 /// Which benchmark drives the validation run.
@@ -155,6 +156,194 @@ pub fn validation_trace(points: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
         mem.push(m.max(64.0));
     }
     (cpu, mem)
+}
+
+// --- replay invariants -----------------------------------------------------
+//
+// Beyond emulator *accuracy*, crash-safe studies need runtime *integrity*:
+// every checkpoint boundary re-proves the structural invariants of the
+// replay so that a corrupted journal or an engine bug is caught at the
+// boundary where it appeared, not hours of replay later.
+
+/// A structural invariant the replay engine must uphold at every
+/// checkpoint boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayInvariant {
+    /// A VM appears on two hosts of the in-effect placement.
+    VmDoublePlaced,
+    /// The placement references a host the data center does not provision.
+    UnknownHost,
+    /// An hour activated more hosts than the fleet provisions.
+    FleetCapacityExceeded,
+    /// A fault-ledger counter decreased between checkpoints.
+    LedgerRegressed,
+    /// The replay hour failed to advance between checkpoints.
+    HourNotMonotone,
+    /// Internal accounting is inconsistent (series length vs. hour,
+    /// per-host hours vs. elapsed hours).
+    AccountingMismatch,
+}
+
+impl ReplayInvariant {
+    /// Stable human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayInvariant::VmDoublePlaced => "no-vm-double-placed",
+            ReplayInvariant::UnknownHost => "hosts-provisioned",
+            ReplayInvariant::FleetCapacityExceeded => "fleet-capacity",
+            ReplayInvariant::LedgerRegressed => "ledger-monotone",
+            ReplayInvariant::HourNotMonotone => "hour-monotone",
+            ReplayInvariant::AccountingMismatch => "accounting-consistent",
+        }
+    }
+}
+
+/// A violated replay invariant, raised as
+/// [`CheckpointError::Invariant`](crate::checkpoint::CheckpointError).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// Which invariant failed.
+    pub invariant: ReplayInvariant,
+    /// Replay hour of the offending checkpoint.
+    pub hour: usize,
+    /// What exactly was inconsistent.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated at hour {}: {}",
+            self.invariant.name(),
+            self.hour,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks every structural invariant of `ckpt` for a fleet of `n_hosts`
+/// hosts, and — when the previous checkpoint of the same run is given —
+/// the cross-checkpoint monotonicity invariants.
+///
+/// # Errors
+///
+/// The first violated [`ReplayInvariant`], as an [`InvariantViolation`].
+pub fn check_checkpoint(
+    ckpt: &crate::checkpoint::ReplayCheckpoint,
+    n_hosts: usize,
+    prev: Option<&crate::checkpoint::ReplayCheckpoint>,
+) -> Result<(), InvariantViolation> {
+    let fail = |invariant: ReplayInvariant, detail: String| InvariantViolation {
+        invariant,
+        hour: ckpt.hour,
+        detail,
+    };
+
+    // Accounting: series lengths and per-host hours must match the hour.
+    if ckpt.hour > ckpt.total_hours {
+        return Err(fail(
+            ReplayInvariant::AccountingMismatch,
+            format!("hour {} beyond total {}", ckpt.hour, ckpt.total_hours),
+        ));
+    }
+    if ckpt.per_hour.len() != ckpt.hour {
+        return Err(fail(
+            ReplayInvariant::AccountingMismatch,
+            format!("{} per-hour rows for {} hours", ckpt.per_hour.len(), ckpt.hour),
+        ));
+    }
+    if ckpt.accs.len() != n_hosts {
+        return Err(fail(
+            ReplayInvariant::AccountingMismatch,
+            format!("{} accumulators for {} hosts", ckpt.accs.len(), n_hosts),
+        ));
+    }
+    for (i, a) in ckpt.accs.iter().enumerate() {
+        if a.active_hours > ckpt.hour {
+            return Err(fail(
+                ReplayInvariant::AccountingMismatch,
+                format!(
+                    "host-{i} active {} of {} elapsed hours",
+                    a.active_hours, ckpt.hour
+                ),
+            ));
+        }
+    }
+
+    // Fleet capacity: no hour may activate more hosts than provisioned.
+    for h in &ckpt.per_hour {
+        if h.active_hosts > n_hosts {
+            return Err(fail(
+                ReplayInvariant::FleetCapacityExceeded,
+                format!(
+                    "hour {} activated {} of {} provisioned hosts",
+                    h.hour, h.active_hosts, n_hosts
+                ),
+            ));
+        }
+    }
+
+    // Placement integrity of the in-effect (fault-chased) placement.
+    if let Some(fs) = &ckpt.fault {
+        if fs.was_down.len() != n_hosts {
+            return Err(fail(
+                ReplayInvariant::AccountingMismatch,
+                format!("{} down flags for {} hosts", fs.was_down.len(), n_hosts),
+            ));
+        }
+        let mut seen = std::collections::BTreeMap::new();
+        for (host, vms) in &fs.current {
+            if host.0 as usize >= n_hosts {
+                return Err(fail(
+                    ReplayInvariant::UnknownHost,
+                    format!("{host} is not provisioned (fleet of {n_hosts})"),
+                ));
+            }
+            for &vm in vms {
+                if let Some(other) = seen.insert(vm, *host) {
+                    return Err(fail(
+                        ReplayInvariant::VmDoublePlaced,
+                        format!("{vm} on both {other} and {host}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Cross-checkpoint monotonicity.
+    if let Some(p) = prev {
+        if ckpt.hour <= p.hour {
+            return Err(fail(
+                ReplayInvariant::HourNotMonotone,
+                format!("hour went {} -> {}", p.hour, ckpt.hour),
+            ));
+        }
+        let counters = |l: &crate::faults::FaultLedger| {
+            [
+                ("host_crashes", l.host_crashes),
+                ("evacuations", l.evacuations),
+                ("downtime_vm_hours", l.downtime_vm_hours),
+                ("failed_migrations", l.failed_migrations),
+                ("retried_migrations", l.retried_migrations),
+                ("abandoned_migrations", l.abandoned_migrations),
+                ("stale_sample_hours", l.stale_sample_hours),
+            ]
+        };
+        for ((name, now), (_, before)) in counters(&ckpt.ledger).into_iter().zip(counters(&p.ledger))
+        {
+            if now < before {
+                return Err(fail(
+                    ReplayInvariant::LedgerRegressed,
+                    format!("{name} went {before} -> {now}"),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

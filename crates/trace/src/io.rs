@@ -264,7 +264,16 @@ pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkloa
 ///
 /// Propagates file-creation and write errors.
 pub fn save(workload: &GeneratedWorkload, path: &Path) -> io::Result<()> {
-    write_csv(workload, std::fs::File::create(path)?)
+    // Atomic: write a sibling temp file, fsync, then rename over the
+    // target, so a crash mid-save never leaves a torn trace behind.
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    let file = std::fs::File::create(&tmp)?;
+    write_csv(workload, &file)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Loads a workload from a CSV file.

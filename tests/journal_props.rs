@@ -1,0 +1,114 @@
+//! Property tests over the write-ahead journal framing.
+//!
+//! Invariants: every *frame-aligned* prefix of a journal decodes
+//! cleanly; any corrupted or truncated tail is caught by the per-frame
+//! checksum, reported with the byte offset of the first bad frame, and
+//! never handed back as a record.
+
+use proptest::prelude::*;
+use vmcw_repro::core::journal::{crc32, decode, encode_records, MAGIC};
+
+/// Random record payloads: 0–12 records of 0–64 arbitrary bytes.
+fn records_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..=255, 0..64), 0..12)
+}
+
+fn journal_bytes(records: &[Vec<u8>]) -> Vec<u8> {
+    encode_records(records) // leads with MAGIC
+}
+
+/// Byte offset where frame `i` starts.
+fn frame_offsets(records: &[Vec<u8>]) -> Vec<usize> {
+    let mut offsets = vec![MAGIC.len()];
+    for r in records {
+        offsets.push(offsets.last().unwrap() + 8 + r.len());
+    }
+    offsets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_decodes_every_record(records in records_strategy()) {
+        let (decoded, tail) = decode(&journal_bytes(&records)).unwrap();
+        prop_assert_eq!(decoded, records);
+        prop_assert!(tail.is_none());
+    }
+
+    #[test]
+    fn every_frame_aligned_prefix_decodes_cleanly(records in records_strategy()) {
+        let bytes = journal_bytes(&records);
+        for (i, &offset) in frame_offsets(&records).iter().enumerate() {
+            let (decoded, tail) = decode(&bytes[..offset]).unwrap();
+            prop_assert_eq!(&decoded[..], &records[..i]);
+            prop_assert!(tail.is_none(), "clean prefix of {i} frames reported a bad tail");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_with_the_right_offset(
+        records in records_strategy(),
+        cut_back in 1usize..16,
+    ) {
+        let bytes = journal_bytes(&records);
+        if bytes.len() == MAGIC.len() {
+            return Ok(()); // no frames to truncate this case
+        }
+        let cut = (bytes.len() - cut_back.min(bytes.len() - MAGIC.len())).max(MAGIC.len());
+        let offsets = frame_offsets(&records);
+        // The first frame the cut lands inside.
+        let bad_frame = offsets.iter().rposition(|&o| o <= cut).unwrap();
+        if offsets[bad_frame] == cut {
+            // Cut on a frame boundary: shorter but clean journal.
+            let (decoded, tail) = decode(&bytes[..cut]).unwrap();
+            prop_assert_eq!(&decoded[..], &records[..bad_frame]);
+            prop_assert!(tail.is_none());
+        } else {
+            let (decoded, tail) = decode(&bytes[..cut]).unwrap();
+            // Only the intact frames come back; the torn one never does.
+            prop_assert_eq!(&decoded[..], &records[..bad_frame]);
+            let tail = tail.expect("torn tail must be reported");
+            prop_assert_eq!(tail.offset, offsets[bad_frame]);
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_frame_is_caught(
+        records in proptest::collection::vec(proptest::collection::vec(0u8..=255, 1..32), 1..6),
+        flip_seed in 0usize..10_000,
+    ) {
+        let clean = journal_bytes(&records);
+        let body_len = clean.len() - MAGIC.len();
+        let byte = MAGIC.len() + flip_seed % body_len;
+        let bit = (flip_seed / body_len) % 8;
+        let mut bytes = clean;
+        bytes[byte] ^= 1 << bit;
+
+        let (decoded, tail) = match decode(&bytes) {
+            Ok(ok) => ok,
+            Err(e) => return Err(format!("decode errored instead of reporting a tail: {e}")),
+        };
+        let offsets = frame_offsets(&records);
+        let bad_frame = offsets.iter().rposition(|&o| o <= byte).unwrap();
+        // Frames before the flip survive; the flipped frame and
+        // everything after it are dropped as a corrupt tail.
+        prop_assert!(decoded.len() <= bad_frame,
+            "a record at or after the flipped byte was deserialized");
+        prop_assert_eq!(&decoded[..], &records[..decoded.len()]);
+        let tail = tail.expect("flip must surface as tail corruption");
+        prop_assert!(tail.offset <= byte);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_byte_change(
+        payload in proptest::collection::vec(0u8..=255, 1..64),
+        pos_seed in 0usize..1_000,
+        delta in 1u8..=255,
+    ) {
+        let pos = pos_seed % payload.len();
+        let mut mutated = payload.clone();
+        mutated[pos] = mutated[pos].wrapping_add(delta);
+        prop_assert_ne!(crc32(&payload), crc32(&mutated));
+    }
+}

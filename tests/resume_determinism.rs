@@ -1,0 +1,100 @@
+//! Golden kill-and-resume test (DESIGN: crash-safe studies).
+//!
+//! Runs the full planner × data-center grid under fault injection,
+//! kills the study at several global replay hours, resumes it, and
+//! asserts the final reports — including the fault ledgers — are
+//! *byte-identical* to an uninterrupted run, cell by cell. Also checks
+//! the rendered `cells.csv`/`STUDY.md` artifacts match bytewise.
+
+use std::path::PathBuf;
+
+use vmcw_repro::core::supervise::{
+    resume_study, run_study, CancelToken, CellOutcome, StudySpec, StudyStatus, JOURNAL_FILE,
+};
+use vmcw_repro::emulator::checkpoint::encode_report;
+use vmcw_repro::emulator::FaultConfig;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vmcw-golden-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All four data centers × the three evaluated planners, with heavy
+/// fault injection so the ledger is exercised, checkpointing every 4
+/// replay hours.
+fn golden_spec() -> StudySpec {
+    let mut spec = StudySpec::new(0.02, 23, 5, 1);
+    spec.faults = Some(FaultConfig {
+        host_mtbf_hours: 40.0,
+        host_mttr_hours: 3.0,
+        migration_failure_prob: 0.1,
+        trace_dropout_prob: 0.02,
+        ..FaultConfig::baseline(23)
+    });
+    spec.checkpoint_every_hours = 4;
+    spec
+}
+
+#[test]
+fn resume_after_kill_is_byte_identical_for_every_cell() {
+    let clean_dir = tmp_dir("clean");
+    let clean = run_study(&golden_spec(), &clean_dir, &CancelToken::new()).unwrap();
+    assert_eq!(clean.status, StudyStatus::Completed);
+    assert_eq!(clean.cells.len(), 12, "4 data centers x 3 planners");
+    assert!(
+        clean
+            .cells
+            .iter()
+            .any(|c| !c.report.as_ref().unwrap().faults.is_clean()),
+        "fault injection should leave a visible ledger somewhere"
+    );
+
+    // Kill early in the first cell, mid first cell, and in the second
+    // cell (hours are counted globally across the grid).
+    for kill_hour in [1u64, 13, 29] {
+        let dir = tmp_dir(&format!("kill{kill_hour}"));
+        let token = CancelToken::new();
+        token.cancel_after_hours(kill_hour);
+        let partial = run_study(&golden_spec(), &dir, &token).unwrap();
+        assert_eq!(
+            partial.status,
+            StudyStatus::Interrupted,
+            "kill at hour {kill_hour} should interrupt"
+        );
+        assert!(dir.join(JOURNAL_FILE).exists());
+
+        let resumed = resume_study(&dir, None, &CancelToken::new()).unwrap();
+        assert_eq!(resumed.status, StudyStatus::Completed);
+        assert_eq!(resumed.cells.len(), clean.cells.len());
+        for (a, b) in clean.cells.iter().zip(&resumed.cells) {
+            assert_eq!(a.dc, b.dc);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.outcome, CellOutcome::Completed);
+            assert_eq!(b.outcome, CellOutcome::Completed);
+            let (ra, rb) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+            assert_eq!(
+                ra.faults, rb.faults,
+                "fault ledger diverged for {}/{} after kill at hour {kill_hour}",
+                a.dc.letter(),
+                a.kind.label()
+            );
+            assert_eq!(
+                encode_report(ra),
+                encode_report(rb),
+                "report diverged for {}/{} after kill at hour {kill_hour}",
+                a.dc.letter(),
+                a.kind.label()
+            );
+        }
+        for artifact in ["cells.csv", "STUDY.md"] {
+            assert_eq!(
+                std::fs::read(clean_dir.join(artifact)).unwrap(),
+                std::fs::read(dir.join(artifact)).unwrap(),
+                "{artifact} not byte-identical after kill at hour {kill_hour}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
