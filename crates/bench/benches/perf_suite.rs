@@ -1,0 +1,73 @@
+//! Criterion mirror of `vmcw bench`: trace generation, each evaluated
+//! planner, and plan replay, at the same scales the CLI harness uses —
+//! so `cargo bench` numbers and `BENCH_*.json` numbers are directly
+//! comparable (methodology: docs/PERFORMANCE.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcw_bench::perf::{BENCH_DC, EVAL_DAYS, HISTORY_DAYS};
+use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};
+use vmcw_consolidation::planner::{Planner, PlannerKind};
+use vmcw_emulator::engine::{emulate, EmulatorConfig};
+use vmcw_trace::datacenters::GeneratorConfig;
+
+const SCALES: [f64; 2] = [0.1, 1.0];
+const SEED: u64 = 42;
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf-trace-gen");
+    group.sample_size(10);
+    for scale in SCALES {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    GeneratorConfig::new(BENCH_DC)
+                        .scale(scale)
+                        .days(HISTORY_DAYS + EVAL_DAYS)
+                        .generate(SEED),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf-planners");
+    group.sample_size(10);
+    for scale in SCALES {
+        let input = vmcw_bench::bench_input(BENCH_DC, scale, HISTORY_DAYS, EVAL_DAYS, SEED);
+        let planner = Planner::baseline();
+        for kind in PlannerKind::EVALUATED {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}-{scale}", kind.label())),
+                &(),
+                |b, ()| {
+                    b.iter(|| black_box(planner.plan(kind, &input).expect("plan")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf-replay");
+    group.sample_size(10);
+    for scale in SCALES {
+        let workload = GeneratorConfig::new(BENCH_DC)
+            .scale(scale)
+            .days(HISTORY_DAYS + EVAL_DAYS)
+            .generate(SEED);
+        let input =
+            PlanningInput::from_workload(&workload, HISTORY_DAYS, VirtualizationModel::baseline());
+        let plan = Planner::baseline().plan_dynamic(&input).expect("plan");
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &(), |b, ()| {
+            b.iter(|| black_box(emulate(&input, &plan, &EmulatorConfig::default()).expect("replay")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_gen, bench_planners, bench_replay);
+criterion_main!(benches);

@@ -19,7 +19,8 @@ use vmcw_cluster::server::ServerModel;
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_core::study::{Study, StudyConfig};
 use vmcw_core::supervise::{
-    resume_study, run_study, CancelToken, CellOutcome, StudyStatus, SuperviseError, StudySpec,
+    resume_study_jobs, run_study_jobs, CancelToken, CellOutcome, StudyStatus, SuperviseError,
+    StudySpec,
 };
 use vmcw_emulator::report;
 use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
@@ -34,8 +35,9 @@ usage:
   vmcw drain <trace.csv> --host N [--dc NAME] [--history-days N] [--fabric 1gbe|10gbe]
   vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]
   vmcw faults <trace.csv> [--dc NAME] [--history-days N] [--seed N] [--mtbf H] [--mttr H] [--mig-fail F] [--dropout F] [--thresholds on|off]
-  vmcw study --out DIR [--scale F] [--seed N] [--history-days N] [--eval-days N] [--faults on|off] [--ckpt-hours N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
-  vmcw study --resume DIR [--max-hours N] [--max-secs F] [--kill-after-hours N]
+  vmcw study --out DIR [--jobs N] [--scale F] [--seed N] [--history-days N] [--eval-days N] [--faults on|off] [--ckpt-hours N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
+  vmcw study --resume DIR [--jobs N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
+  vmcw bench [--scale F[,F...]] [--seed N] [--out DIR]
 
 exit codes: 0 success · 1 runtime failure · 2 bad arguments or unreadable input";
 
@@ -47,16 +49,18 @@ enum CliError {
     Run(String),
 }
 
-impl From<String> for CliError {
-    fn from(msg: String) -> Self {
-        CliError::Usage(msg)
-    }
+/// Bad arguments or unreadable input — the caller's fault, exit 2.
+fn usage(msg: impl std::fmt::Display) -> CliError {
+    CliError::Usage(msg.to_string())
 }
 
-impl From<&str> for CliError {
-    fn from(msg: &str) -> Self {
-        CliError::Usage(msg.to_owned())
-    }
+/// The command itself failed while doing its work — exit 1. Every
+/// fallible *runtime* operation must route here, never to [`usage`]:
+/// a blanket `String -> Usage` conversion once sent genuine runtime
+/// failures (e.g. an unwritable `--out` path) to exit code 2, which
+/// breaks scripts that retry on 1 but give up on 2.
+fn run_err(msg: impl std::fmt::Display) -> CliError {
+    CliError::Run(msg.to_string())
 }
 
 fn parse_dc(name: &str) -> Result<DataCenterId, String> {
@@ -107,6 +111,7 @@ fn main() -> ExitCode {
         "estate" => cmd_estate(rest),
         "faults" => cmd_faults(rest),
         "study" => cmd_study(rest),
+        "bench" => cmd_bench(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -134,21 +139,39 @@ fn main() -> ExitCode {
 /// `--resume DIR` continues one after a crash or kill. The final
 /// report of a resumed run is byte-identical to an uninterrupted one.
 fn cmd_study(args: &[String]) -> Result<(), CliError> {
-    let args = parse_args(args)?;
+    let args = parse_args(args).map_err(usage)?;
     let token = CancelToken::new();
     if let Some(v) = args.flags.get("kill-after-hours") {
         token.cancel_after_hours(
             v.parse()
-                .map_err(|e| format!("bad --kill-after-hours: {e}"))?,
+                .map_err(|e| usage(format!("bad --kill-after-hours: {e}")))?,
         );
     }
+    let jobs: usize = args.flags.get("jobs").map_or(Ok(1), |v| {
+        v.parse()
+            .map_err(|e| format!("bad --jobs: {e}"))
+            .and_then(|n: usize| {
+                if n == 0 {
+                    Err("--jobs must be at least 1".to_owned())
+                } else {
+                    Ok(n)
+                }
+            })
+            .map_err(usage)
+    })?;
     let parse_budget = |args: &Args| -> Result<vmcw_core::supervise::CellBudget, CliError> {
         let mut budget = vmcw_core::supervise::CellBudget::unlimited();
         if let Some(v) = args.flags.get("max-hours") {
-            budget.max_hours = Some(v.parse().map_err(|e| format!("bad --max-hours: {e}"))?);
+            budget.max_hours = Some(
+                v.parse()
+                    .map_err(|e| usage(format!("bad --max-hours: {e}")))?,
+            );
         }
         if let Some(v) = args.flags.get("max-secs") {
-            budget.max_wall_secs = Some(v.parse().map_err(|e| format!("bad --max-secs: {e}"))?);
+            budget.max_wall_secs = Some(
+                v.parse()
+                    .map_err(|e| usage(format!("bad --max-secs: {e}")))?,
+            );
         }
         Ok(budget)
     };
@@ -170,23 +193,23 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
             || args.flags.contains_key("max-secs"))
         .then(|| parse_budget(&args))
         .transpose()?;
-        resume_study(Path::new(dir), budget, &token).map_err(classify)?
+        resume_study_jobs(Path::new(dir), budget, &token, jobs).map_err(classify)?
     } else {
         let dir = args
             .flags
             .get("out")
-            .ok_or("--out DIR or --resume DIR is required")?;
+            .ok_or_else(|| usage("--out DIR or --resume DIR is required"))?;
         let scale: f64 = args.flags.get("scale").map_or(Ok(0.1), |v| {
-            v.parse().map_err(|e| format!("bad --scale: {e}"))
+            v.parse().map_err(|e| usage(format!("bad --scale: {e}")))
         })?;
         let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
-            v.parse().map_err(|e| format!("bad --seed: {e}"))
+            v.parse().map_err(|e| usage(format!("bad --seed: {e}")))
         })?;
         let history_days: usize = args.flags.get("history-days").map_or(Ok(30), |v| {
-            v.parse().map_err(|e| format!("bad --history-days: {e}"))
+            v.parse().map_err(|e| usage(format!("bad --history-days: {e}")))
         })?;
         let eval_days: usize = args.flags.get("eval-days").map_or(Ok(14), |v| {
-            v.parse().map_err(|e| format!("bad --eval-days: {e}"))
+            v.parse().map_err(|e| usage(format!("bad --eval-days: {e}")))
         })?;
         let mut spec = StudySpec::new(scale, seed, history_days, eval_days);
         if let Some(v) = args.flags.get("ckpt-hours") {
@@ -199,15 +222,16 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
                     } else {
                         Ok(n)
                     }
-                })?;
+                })
+                .map_err(usage)?;
         }
         match args.flags.get("faults").map_or("off", String::as_str) {
             "on" => spec.faults = Some(vmcw_emulator::FaultConfig::baseline(seed)),
             "off" => {}
-            other => return Err(format!("bad --faults `{other}` (want on|off)").into()),
+            other => return Err(usage(format!("bad --faults `{other}` (want on|off)"))),
         }
         spec.budget = parse_budget(&args)?;
-        run_study(&spec, Path::new(dir), &token).map_err(classify)?
+        run_study_jobs(&spec, Path::new(dir), &token, jobs).map_err(classify)?
     };
 
     println!(
@@ -250,24 +274,95 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `vmcw bench` — the reproducible wall-clock harness: times trace
+/// generation, each evaluated planner, and plan replay at each `--scale`
+/// and writes `BENCH_emulator.json` / `BENCH_planners.json` to `--out`
+/// (default: the current directory). Methodology: docs/PERFORMANCE.md.
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    let args = parse_args(args).map_err(usage)?;
+    if !args.positional.is_empty() {
+        return Err(usage(format!(
+            "bench takes no positional arguments, got `{}`",
+            args.positional[0]
+        )));
+    }
+    let mut scales = vec![0.1, 1.0];
+    if let Some(raw) = args.flags.get("scale") {
+        scales = raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| usage(format!("bad --scale `{s}`: {e}")))
+                    .and_then(|v| {
+                        if v > 0.0 && v.is_finite() {
+                            Ok(v)
+                        } else {
+                            Err(usage(format!("--scale must be positive and finite, got {v}")))
+                        }
+                    })
+            })
+            .collect::<Result<Vec<f64>, CliError>>()?;
+        if scales.is_empty() {
+            return Err(usage("--scale needs at least one value"));
+        }
+    }
+    let seed: u64 = match args.flags.get("seed") {
+        Some(s) => s
+            .parse()
+            .map_err(|e| usage(format!("bad --seed `{s}`: {e}")))?,
+        None => 42,
+    };
+    let out_dir = args.flags.get("out").map_or(".", String::as_str);
+
+    let mut wrote = Vec::new();
+    for (suite, file) in [
+        (
+            vmcw_bench::perf::run_emulator_suite(&scales, seed),
+            "BENCH_emulator.json",
+        ),
+        (
+            vmcw_bench::perf::run_planner_suite(&scales, seed),
+            "BENCH_planners.json",
+        ),
+    ] {
+        println!("suite {}:", suite.suite);
+        for e in &suite.entries {
+            println!(
+                "  {:<14} scale {:<5} {:>9.3}s  ({} items)",
+                e.stage, e.scale, e.seconds, e.items
+            );
+        }
+        let path = Path::new(out_dir).join(file);
+        // Writing results is runtime work: an unwritable --out is exit 1.
+        std::fs::write(&path, suite.to_json()).map_err(run_err)?;
+        wrote.push(path.display().to_string());
+    }
+    println!("wrote {}", wrote.join(" and "));
+    Ok(())
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), CliError> {
-    let args = parse_args(args)?;
-    let dc = parse_dc(args.flags.get("dc").ok_or("--dc is required")?)?;
+    let args = parse_args(args).map_err(usage)?;
+    let dc = parse_dc(args.flags.get("dc").ok_or_else(|| usage("--dc is required"))?)
+        .map_err(usage)?;
     let scale: f64 = args.flags.get("scale").map_or(Ok(1.0), |v| {
-        v.parse().map_err(|e| format!("bad --scale: {e}"))
+        v.parse().map_err(|e| usage(format!("bad --scale: {e}")))
     })?;
     let days: usize = args.flags.get("days").map_or(Ok(44), |v| {
-        v.parse().map_err(|e| format!("bad --days: {e}"))
+        v.parse().map_err(|e| usage(format!("bad --days: {e}")))
     })?;
     let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
-        v.parse().map_err(|e| format!("bad --seed: {e}"))
+        v.parse().map_err(|e| usage(format!("bad --seed: {e}")))
     })?;
-    let out = PathBuf::from(args.flags.get("out").ok_or("--out is required")?);
+    let out = PathBuf::from(args.flags.get("out").ok_or_else(|| usage("--out is required"))?);
     let workload = GeneratorConfig::new(dc)
         .scale(scale)
         .days(days)
         .generate(seed);
-    io::save(&workload, &out).map_err(|e| e.to_string())?;
+    // Writing the output is runtime work: an unwritable path is exit 1,
+    // not a usage error.
+    io::save(&workload, &out).map_err(run_err)?;
     println!(
         "wrote {} servers x {days} days of the {dc} workload to {}",
         workload.servers.len(),
@@ -295,8 +390,8 @@ fn frac_above(samples: &[f64], x: f64) -> f64 {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
     println!(
         "{} servers, {} days, mean CPU {:.2}%\n",
         w.servers.len(),
@@ -373,9 +468,9 @@ fn history_days_for(args: &Args, total_days: usize) -> Result<usize, String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), CliError> {
     use vmcw_core::study::{compare, Scenario};
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
-    let history_days = history_days_for(&args, w.days)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
+    let history_days = history_days_for(&args, w.days).map_err(usage)?;
     let config = StudyConfig {
         history_days,
         eval_days: w.days - history_days,
@@ -426,19 +521,19 @@ fn cmd_compare(args: &[String]) -> Result<(), CliError> {
 fn cmd_drain(args: &[String]) -> Result<(), CliError> {
     use vmcw_consolidation::drain::plan_drain;
     use vmcw_migration::precopy::PrecopyConfig;
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
-    let history_days = history_days_for(&args, w.days)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
+    let history_days = history_days_for(&args, w.days).map_err(usage)?;
     let host: u32 = args
         .flags
         .get("host")
-        .ok_or("--host is required")?
+        .ok_or_else(|| usage("--host is required"))?
         .parse()
-        .map_err(|e| format!("bad --host: {e}"))?;
+        .map_err(|e| usage(format!("bad --host: {e}")))?;
     let fabric = match args.flags.get("fabric").map_or("1gbe", String::as_str) {
         "1gbe" => PrecopyConfig::gigabit(),
         "10gbe" => PrecopyConfig::ten_gigabit(),
-        other => return Err(format!("unknown --fabric `{other}`").into()),
+        other => return Err(usage(format!("unknown --fabric `{other}`"))),
     };
     let config = StudyConfig {
         history_days,
@@ -479,19 +574,18 @@ fn cmd_estate(args: &[String]) -> Result<(), CliError> {
     use vmcw_consolidation::ffd::OrderKey;
     use vmcw_consolidation::fixed_pool::{pack_fixed, FixedPoolError};
     use vmcw_consolidation::sizing::SizingFunction;
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
-    let history_days = history_days_for(&args, w.days)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
+    let history_days = history_days_for(&args, w.days).map_err(usage)?;
     let hs23: u32 = args
         .flags
         .get("hs23")
-        .ok_or("--hs23 is required")?
+        .ok_or_else(|| usage("--hs23 is required"))?
         .parse()
-        .map_err(|e| format!("bad --hs23: {e}"))?;
-    let hs22: u32 = args
-        .flags
-        .get("hs22")
-        .map_or(Ok(0), |v| v.parse().map_err(|e| format!("bad --hs22: {e}")))?;
+        .map_err(|e| usage(format!("bad --hs23: {e}")))?;
+    let hs22: u32 = args.flags.get("hs22").map_or(Ok(0), |v| {
+        v.parse().map_err(|e| usage(format!("bad --hs22: {e}")))
+    })?;
     let config = StudyConfig {
         history_days,
         eval_days: w.days - history_days,
@@ -542,16 +636,18 @@ fn cmd_estate(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_faults(args: &[String]) -> Result<(), CliError> {
     use vmcw_emulator::FaultConfig;
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
-    let history_days = history_days_for(&args, w.days)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
+    let history_days = history_days_for(&args, w.days).map_err(usage)?;
     let seed: u64 = args.flags.get("seed").map_or(Ok(42), |v| {
-        v.parse().map_err(|e| format!("bad --seed: {e}"))
+        v.parse().map_err(|e| usage(format!("bad --seed: {e}")))
     })?;
     let mut faults = FaultConfig::baseline(seed);
-    let float_flag = |name: &str, slot: &mut f64| -> Result<(), String> {
+    let float_flag = |name: &str, slot: &mut f64| -> Result<(), CliError> {
         if let Some(v) = args.flags.get(name) {
-            *slot = v.parse().map_err(|e| format!("bad --{name}: {e}"))?;
+            *slot = v
+                .parse()
+                .map_err(|e| usage(format!("bad --{name}: {e}")))?;
         }
         Ok(())
     };
@@ -563,9 +659,9 @@ fn cmd_faults(args: &[String]) -> Result<(), CliError> {
         match args.flags.get("thresholds").map_or("on", String::as_str) {
             "on" => true,
             "off" => false,
-            other => return Err(format!("bad --thresholds `{other}` (want on|off)").into()),
+            other => return Err(usage(format!("bad --thresholds `{other}` (want on|off)"))),
         };
-    faults.validate().map_err(|e| e.to_string())?;
+    faults.validate().map_err(usage)?;
 
     let config = StudyConfig {
         history_days,
@@ -615,11 +711,11 @@ fn cmd_faults(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), CliError> {
-    let args = parse_args(args)?;
-    let w = load_trace(&args)?;
-    let history_days = history_days_for(&args, w.days)?;
+    let args = parse_args(args).map_err(usage)?;
+    let w = load_trace(&args).map_err(usage)?;
+    let history_days = history_days_for(&args, w.days).map_err(usage)?;
     let bound: f64 = args.flags.get("bound").map_or(Ok(0.8), |v| {
-        v.parse().map_err(|e| format!("bad --bound: {e}"))
+        v.parse().map_err(|e| usage(format!("bad --bound: {e}")))
     })?;
     let which = args.flags.get("planner").map_or("all", String::as_str);
 
@@ -637,7 +733,7 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         "stochastic" => vec![PlannerKind::Stochastic],
         "dynamic" => vec![PlannerKind::Dynamic],
         "static" => vec![PlannerKind::Static],
-        other => return Err(format!("unknown --planner `{other}`").into()),
+        other => return Err(usage(format!("unknown --planner `{other}`"))),
     };
 
     println!(

@@ -2,6 +2,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};
 use vmcw_trace::datacenters::{DataCenterId, GeneratorConfig};
 

@@ -125,8 +125,8 @@ pub fn plan_drain(
     evacuees.sort_by(|&a, &b| {
         demand_of(b)
             .dominant_share(&effective)
-            .partial_cmp(&demand_of(a).dominant_share(&effective))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&demand_of(a).dominant_share(&effective))
+            .then_with(|| a.cmp(&b))
     });
 
     let src_load = {
@@ -146,8 +146,7 @@ pub fn plan_drain(
             loads.iter().map(|(&h, &l)| (h, l)).collect();
         candidates.sort_by(|a, b| {
             b.1.dominant_share(&effective)
-                .partial_cmp(&a.1.dominant_share(&effective))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.1.dominant_share(&effective))
                 .then_with(|| a.0.cmp(&b.0))
         });
         let mut dest = None;

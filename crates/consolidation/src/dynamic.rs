@@ -392,8 +392,8 @@ pub fn plan_dynamic(
                         .min_by(|&&a, &&b| {
                             groups[a]
                                 .mem_mb
-                                .partial_cmp(&groups[b].mem_mb)
-                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .total_cmp(&groups[b].mem_mb)
+                                .then_with(|| a.cmp(&b))
                         })
                 }) else {
                     break; // only pinned groups left: contention stands
@@ -443,8 +443,7 @@ pub fn plan_dynamic(
             .collect();
         by_load.sort_by(|a, b| {
             a.1.dominant_share(&effective)
-                .partial_cmp(&b.1.dominant_share(&effective))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.1.dominant_share(&effective))
                 .then_with(|| a.0.cmp(&b.0))
         });
         for (host, load) in by_load {
@@ -470,8 +469,8 @@ pub fn plan_dynamic(
             members_sorted.sort_by(|&a, &b| {
                 demand_of(b)
                     .dominant_share(&effective)
-                    .partial_cmp(&demand_of(a).dominant_share(&effective))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&demand_of(a).dominant_share(&effective))
+                    .then_with(|| a.cmp(&b))
             });
             for &gi in &members_sorted {
                 let mut placed = false;
@@ -483,8 +482,7 @@ pub fn plan_dynamic(
                     .collect();
                 candidates.sort_by(|a, b| {
                     b.1.dominant_share(&effective)
-                        .partial_cmp(&a.1.dominant_share(&effective))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&a.1.dominant_share(&effective))
                         .then_with(|| a.0.cmp(&b.0))
                 });
                 for (cand, cand_load) in candidates {
@@ -643,8 +641,7 @@ fn find_destination(
         .collect();
     candidates.sort_by(|a, b| {
         b.1.dominant_share(effective)
-            .partial_cmp(&a.1.dominant_share(effective))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.1.dominant_share(effective))
             .then_with(|| a.0.cmp(&b.0))
     });
     for (host, load) in candidates {

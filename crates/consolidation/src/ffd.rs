@@ -237,8 +237,7 @@ pub fn pack<M: BinPackModel>(
     free.sort_by(|a, b| {
         model
             .sort_key(b)
-            .partial_cmp(&model.sort_key(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&model.sort_key(a))
             .then_with(|| model.vms(a)[0].cmp(&model.vms(b)[0]))
     });
 

@@ -131,8 +131,7 @@ pub fn pack_fixed(
     free.sort_by(|a, b| {
         order
             .key(&b.demand, &reference)
-            .partial_cmp(&order.key(&a.demand, &reference))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&order.key(&a.demand, &reference))
             .then_with(|| a.vms[0].cmp(&b.vms[0]))
     });
 

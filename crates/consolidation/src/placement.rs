@@ -74,6 +74,14 @@ impl Placement {
         self.reverse.keys().copied().collect()
     }
 
+    /// Iterates active hosts and their resident VMs in ascending host
+    /// order, without allocating — the replay engine walks this every
+    /// emulated hour, so the `Vec` that [`Placement::active_hosts`]
+    /// builds is pure churn there.
+    pub fn active(&self) -> impl Iterator<Item = (HostId, &[VmId])> + '_ {
+        self.reverse.iter().map(|(&h, vms)| (h, vms.as_slice()))
+    }
+
     /// Number of hosts with at least one VM.
     #[must_use]
     pub fn active_host_count(&self) -> usize {

@@ -16,12 +16,21 @@
 //! is invariant-checked (capacity, double placement, ledger/hour
 //! monotonicity) before it is journaled, failing fast at the boundary
 //! where state first went bad.
+//!
+//! Cells are independent, so [`run_study_jobs`] fans them over a pool of
+//! worker threads. The journal is a shared append-only log behind a
+//! mutex: records from different cells interleave under parallelism, but
+//! resume keys every record by its `(data center, planner)` cell, so
+//! record *order* never matters for correctness. The final `cells.csv` /
+//! `STUDY.md` are merged in grid order (data center major, planner
+//! minor), making them byte-identical for any worker count — see
+//! docs/PERFORMANCE.md for the determinism argument.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use vmcw_consolidation::planner::PlannerKind;
@@ -32,7 +41,7 @@ use vmcw_emulator::checkpoint::{
 use vmcw_emulator::engine::{EmulationReport, Replay};
 use vmcw_emulator::faults::FaultConfig;
 use vmcw_emulator::report::{cost_summary, CostSummary};
-use vmcw_emulator::validate::{check_checkpoint, InvariantViolation};
+use vmcw_emulator::validate::{check_checkpoint_with, CheckScratch, InvariantViolation};
 use vmcw_emulator::ReplayCheckpoint;
 use vmcw_trace::datacenters::DataCenterId;
 
@@ -447,6 +456,26 @@ pub fn run_study(
     dir: &Path,
     token: &CancelToken,
 ) -> Result<StudyReport, SuperviseError> {
+    run_study_jobs(spec, dir, token, 1)
+}
+
+/// [`run_study`] with an explicit worker count.
+///
+/// `jobs` worker threads execute independent cells concurrently;
+/// `jobs <= 1` is exactly the serial supervisor (identical journal
+/// record sequence). Any worker count yields byte-identical `cells.csv`,
+/// `STUDY.md` and cell reports; only journal record interleaving and
+/// wall-clock time differ.
+///
+/// # Errors
+///
+/// As [`run_study`].
+pub fn run_study_jobs(
+    spec: &StudySpec,
+    dir: &Path,
+    token: &CancelToken,
+    jobs: usize,
+) -> Result<StudyReport, SuperviseError> {
     std::fs::create_dir_all(dir).map_err(|source| {
         SuperviseError::Journal(JournalError::Io {
             path: dir.to_path_buf(),
@@ -464,6 +493,7 @@ pub fn run_study(
         None,
         dir,
         token,
+        jobs,
     )
 }
 
@@ -483,6 +513,22 @@ pub fn resume_study(
     dir: &Path,
     budget: Option<CellBudget>,
     token: &CancelToken,
+) -> Result<StudyReport, SuperviseError> {
+    resume_study_jobs(dir, budget, token, 1)
+}
+
+/// [`resume_study`] with an explicit worker count (see
+/// [`run_study_jobs`]). A journal written under any worker count resumes
+/// under any other: records are keyed by cell, not by position.
+///
+/// # Errors
+///
+/// As [`resume_study`].
+pub fn resume_study_jobs(
+    dir: &Path,
+    budget: Option<CellBudget>,
+    token: &CancelToken,
+    jobs: usize,
 ) -> Result<StudyReport, SuperviseError> {
     let path = dir.join(JOURNAL_FILE);
     let (journal, tail) = Journal::open(&path)?;
@@ -575,7 +621,7 @@ pub fn resume_study(
         }
     }
 
-    drive(spec, journal, done, ckpts, run_done, tail, dir, token)
+    drive(spec, journal, done, ckpts, run_done, tail, dir, token, jobs)
 }
 
 fn cell_key<'a>(
@@ -596,177 +642,289 @@ fn cell_key<'a>(
     Ok((dc, kind))
 }
 
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+/// Shared per-run executor state, borrowed by every worker thread.
+struct Executor<'a> {
+    spec: &'a StudySpec,
+    journal: Mutex<Journal>,
+    ckpts: &'a BTreeMap<(char, &'static str), ReplayCheckpoint>,
+    token: &'a CancelToken,
+    /// Lazily prepared per-data-center studies, indexed as `spec.dcs`.
+    /// `OnceLock` blocks racing workers until the first finishes the
+    /// (expensive) trace generation, so each DC is prepared exactly once.
+    studies: Vec<OnceLock<Study>>,
+    /// Next position in the pending list to claim.
+    next: AtomicUsize,
+    /// Set when any worker hits a supervisor-fatal error; others stop at
+    /// the next hour boundary (checkpointing first, so no work is lost).
+    abort: AtomicBool,
+    /// Set when the cancel token stopped a worker mid-grid.
+    interrupted: AtomicBool,
+    fatal: Mutex<Option<SuperviseError>>,
+    finished: Mutex<Vec<(usize, CellReport)>>,
+}
+
+impl Executor<'_> {
+    fn journal(&self) -> std::sync::MutexGuard<'_, Journal> {
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Claims and runs pending cells until the grid is drained, the
+    /// token fires, or a fatal error (here or in a sibling) stops the
+    /// run.
+    fn work(&self, grid: &[(DataCenterId, PlannerKind)], pending: &[usize]) {
+        loop {
+            if self.abort.load(Ordering::SeqCst) {
+                return;
+            }
+            let slot = self.next.fetch_add(1, Ordering::SeqCst);
+            let Some(&idx) = pending.get(slot) else {
+                return;
+            };
+            let (dc, kind) = grid[idx];
+            if self.token.is_cancelled() {
+                self.interrupted.store(true, Ordering::SeqCst);
+                return;
+            }
+            let di = self
+                .spec
+                .dcs
+                .iter()
+                .position(|d| *d == dc)
+                .expect("grid cell's DC is in the spec");
+            let study =
+                self.studies[di].get_or_init(|| Study::prepare(&self.spec.study_config(dc)));
+            match self.run_cell(dc, kind, study) {
+                Ok(Some(cell)) => self
+                    .finished
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((idx, cell)),
+                Ok(None) => return,
+                Err(e) => {
+                    let mut fatal = self
+                        .fatal
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    fatal.get_or_insert(e);
+                    self.abort.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs one cell to a terminal outcome (`Some`) or checkpoints and
+    /// yields (`None`) on cancellation / sibling abort. Journal appends
+    /// take the lock per record and never hold it across replay work.
+    fn run_cell(
+        &self,
+        dc: DataCenterId,
+        kind: PlannerKind,
+        study: &Study,
+    ) -> Result<Option<CellReport>, SuperviseError> {
+        let spec = self.spec;
+        let abort_cell = |error: String| CellReport {
+            dc,
+            kind,
+            outcome: CellOutcome::Aborted { error },
+            report: None,
+            cost: None,
+        };
+        let config = *study.config();
+        let plan = match study.plan(kind) {
+            Ok(p) => p,
+            Err(e) => {
+                let cell = abort_cell(e.to_string());
+                append_cell_done(&mut self.journal(), &cell)?;
+                return Ok(Some(cell));
+            }
+        };
+        let n_hosts = plan.dc.len();
+        let mut scratch = CheckScratch::default();
+        let mut prev_ckpt = self.ckpts.get(&(dc.letter(), kind.label())).cloned();
+        let mut replay = match prev_ckpt.as_ref() {
+            Some(ck) => Replay::resume(
+                study.input(),
+                &plan,
+                &config.emulator,
+                spec.faults.as_ref(),
+                ck,
+            )?,
+            None => {
+                self.journal()
+                    .append(format!("cell-start {} {}", dc.letter(), kind.label()).as_bytes())?;
+                match Replay::new(
+                    study.input(),
+                    &plan,
+                    &config.emulator,
+                    spec.faults.as_ref(),
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let cell = abort_cell(e.to_string());
+                        append_cell_done(&mut self.journal(), &cell)?;
+                        return Ok(Some(cell));
+                    }
+                }
+            }
+        };
+
+        let cell_started = Instant::now();
+        let outcome = loop {
+            if self.token.is_cancelled() || self.abort.load(Ordering::SeqCst) {
+                let ck = replay.checkpoint();
+                append_checkpoint(&mut self.journal(), dc, kind, &ck)?;
+                if self.token.is_cancelled() {
+                    self.interrupted.store(true, Ordering::SeqCst);
+                }
+                return Ok(None);
+            }
+            if replay.is_done() {
+                break CellOutcome::Completed;
+            }
+            if let Some(max_hours) = spec.budget.max_hours {
+                if replay.hour() >= max_hours {
+                    break CellOutcome::Degraded {
+                        reason: format!("step budget of {max_hours} hours exhausted"),
+                        hours_done: replay.hour(),
+                    };
+                }
+            }
+            if let Some(max_secs) = spec.budget.max_wall_secs {
+                let elapsed = cell_started.elapsed().as_secs_f64();
+                if elapsed > max_secs {
+                    break CellOutcome::Degraded {
+                        reason: format!("wall-clock budget of {max_secs}s exhausted"),
+                        hours_done: replay.hour(),
+                    };
+                }
+            }
+            if let Err(e) = replay.step() {
+                break CellOutcome::Aborted {
+                    error: e.to_string(),
+                };
+            }
+            self.token.note_hour();
+            if replay.hour() % spec.checkpoint_every_hours == 0 || replay.is_done() {
+                let ck = replay.checkpoint();
+                if let Err(violation) =
+                    check_checkpoint_with(&mut scratch, &ck, n_hosts, prev_ckpt.as_ref())
+                {
+                    let record = self.journal().records().len();
+                    return Err(SuperviseError::Invariant { violation, record });
+                }
+                append_checkpoint(&mut self.journal(), dc, kind, &ck)?;
+                prev_ckpt = Some(ck);
+            }
+        };
+
+        let cell = match outcome {
+            CellOutcome::Aborted { error } => abort_cell(error),
+            outcome => {
+                let report = replay.into_report();
+                let cost = cost_summary(&report, &config.cost_model);
+                CellReport {
+                    dc,
+                    kind,
+                    outcome,
+                    report: Some(report),
+                    cost: Some(cost),
+                }
+            }
+        };
+        append_cell_done(&mut self.journal(), &cell)?;
+        Ok(Some(cell))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drive(
     spec: StudySpec,
-    mut journal: Journal,
+    journal: Journal,
     done: BTreeMap<(char, &'static str), CellReport>,
     ckpts: BTreeMap<(char, &'static str), ReplayCheckpoint>,
     run_done: bool,
     tail_dropped: Option<TailCorruption>,
     dir: &Path,
     token: &CancelToken,
+    jobs: usize,
 ) -> Result<StudyReport, SuperviseError> {
-    let mut cells: Vec<CellReport> = Vec::new();
-    let mut studies: Vec<(char, Study)> = Vec::new();
-    let mut interrupted = false;
+    // The grid in output order (data center major, planner minor); done
+    // cells slot straight in, the rest are claimed by workers.
+    let grid: Vec<(DataCenterId, PlannerKind)> = spec
+        .dcs
+        .iter()
+        .flat_map(|&dc| spec.planners.iter().map(move |&kind| (dc, kind)))
+        .collect();
+    let mut slots: Vec<Option<CellReport>> = grid
+        .iter()
+        .map(|&(dc, kind)| done.get(&(dc.letter(), kind.label())).cloned())
+        .collect();
+    let mut pending: Vec<usize> = (0..grid.len()).filter(|&i| slots[i].is_none()).collect();
 
-    'grid: for &dc in &spec.dcs {
-        for &kind in &spec.planners {
-            let key = (dc.letter(), kind.label());
-            if let Some(cell) = done.get(&key) {
-                cells.push(cell.clone());
-                continue;
-            }
-            if token.is_cancelled() {
-                interrupted = true;
-                break 'grid;
-            }
-            let study = match studies.iter().find(|(l, _)| *l == dc.letter()) {
-                Some((_, s)) => s,
-                None => {
-                    let s = Study::prepare(&spec.study_config(dc));
-                    studies.push((dc.letter(), s));
-                    &studies.last().unwrap().1
-                }
-            };
-            let config = *study.config();
-            let plan = match study.plan(kind) {
-                Ok(p) => p,
-                Err(e) => {
-                    let cell = CellReport {
-                        dc,
-                        kind,
-                        outcome: CellOutcome::Aborted {
-                            error: e.to_string(),
-                        },
-                        report: None,
-                        cost: None,
-                    };
-                    append_cell_done(&mut journal, &cell)?;
-                    cells.push(cell);
-                    continue;
-                }
-            };
-            let n_hosts = plan.dc.len();
-            let mut prev_ckpt = ckpts.get(&key).cloned();
-            let mut replay = match prev_ckpt.as_ref() {
-                Some(ck) => Replay::resume(
-                    study.input(),
-                    &plan,
-                    &config.emulator,
-                    spec.faults.as_ref(),
-                    ck,
-                )?,
-                None => {
-                    journal.append(
-                        format!("cell-start {} {}", dc.letter(), kind.label()).as_bytes(),
-                    )?;
-                    match Replay::new(
-                        study.input(),
-                        &plan,
-                        &config.emulator,
-                        spec.faults.as_ref(),
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            let cell = CellReport {
-                                dc,
-                                kind,
-                                outcome: CellOutcome::Aborted {
-                                    error: e.to_string(),
-                                },
-                                report: None,
-                                cost: None,
-                            };
-                            append_cell_done(&mut journal, &cell)?;
-                            cells.push(cell);
-                            continue;
-                        }
-                    }
-                }
-            };
+    let workers = jobs.max(1).min(pending.len().max(1));
+    if workers > 1 {
+        // Claim planner-major so concurrent workers start on *different*
+        // data centers and their `Study::prepare` calls overlap instead
+        // of serialising on one `OnceLock`. Output order is unaffected:
+        // finished cells are merged back by grid index.
+        let planners = spec.planners.len().max(1);
+        pending.sort_by_key(|&idx| (idx % planners, idx / planners));
+    }
 
-            let cell_started = Instant::now();
-            let outcome = loop {
-                if token.is_cancelled() {
-                    let ck = replay.checkpoint();
-                    append_checkpoint(&mut journal, dc, kind, &ck)?;
-                    interrupted = true;
-                    break 'grid;
-                }
-                if replay.is_done() {
-                    break CellOutcome::Completed;
-                }
-                if let Some(max_hours) = spec.budget.max_hours {
-                    if replay.hour() >= max_hours {
-                        break CellOutcome::Degraded {
-                            reason: format!("step budget of {max_hours} hours exhausted"),
-                            hours_done: replay.hour(),
-                        };
-                    }
-                }
-                if let Some(max_secs) = spec.budget.max_wall_secs {
-                    let elapsed = cell_started.elapsed().as_secs_f64();
-                    if elapsed > max_secs {
-                        break CellOutcome::Degraded {
-                            reason: format!("wall-clock budget of {max_secs}s exhausted"),
-                            hours_done: replay.hour(),
-                        };
-                    }
-                }
-                if let Err(e) = replay.step() {
-                    break CellOutcome::Aborted {
-                        error: e.to_string(),
-                    };
-                }
-                token.note_hour();
-                if replay.hour() % spec.checkpoint_every_hours == 0 || replay.is_done() {
-                    let ck = replay.checkpoint();
-                    check_checkpoint(&ck, n_hosts, prev_ckpt.as_ref()).map_err(|violation| {
-                        SuperviseError::Invariant {
-                            violation,
-                            record: journal.records().len(),
-                        }
-                    })?;
-                    append_checkpoint(&mut journal, dc, kind, &ck)?;
-                    prev_ckpt = Some(ck);
-                }
-            };
+    let exec = Executor {
+        spec: &spec,
+        journal: Mutex::new(journal),
+        ckpts: &ckpts,
+        token,
+        studies: spec.dcs.iter().map(|_| OnceLock::new()).collect(),
+        next: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        interrupted: AtomicBool::new(false),
+        fatal: Mutex::new(None),
+        finished: Mutex::new(Vec::new()),
+    };
 
-            let cell = match outcome {
-                CellOutcome::Aborted { error } => CellReport {
-                    dc,
-                    kind,
-                    outcome: CellOutcome::Aborted { error },
-                    report: None,
-                    cost: None,
-                },
-                outcome => {
-                    let report = replay.into_report();
-                    let cost = cost_summary(&report, &config.cost_model);
-                    CellReport {
-                        dc,
-                        kind,
-                        outcome,
-                        report: Some(report),
-                        cost: Some(cost),
-                    }
+    if !pending.is_empty() {
+        if token.is_cancelled() {
+            exec.interrupted.store(true, Ordering::SeqCst);
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| exec.work(&grid, &pending));
                 }
-            };
-            append_cell_done(&mut journal, &cell)?;
-            cells.push(cell);
+            });
         }
     }
 
-    let status = if interrupted {
+    if let Some(e) = exec
+        .fatal
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
+    for (idx, cell) in exec
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain(..)
+    {
+        slots[idx] = Some(cell);
+    }
+    let cells: Vec<CellReport> = slots.into_iter().flatten().collect();
+
+    let status = if exec.interrupted.load(Ordering::SeqCst) {
         StudyStatus::Interrupted
     } else {
         StudyStatus::Completed
     };
     if status == StudyStatus::Completed {
         if !run_done {
-            journal.append(b"run-done")?;
+            exec.journal().append(b"run-done")?;
         }
         let report = StudyReport {
             spec,
@@ -1028,6 +1186,78 @@ mod tests {
         // Resuming a completed journal is idempotent.
         let again = resume_study(&killed_dir, None, &CancelToken::new()).unwrap();
         assert_eq!(again.cells.len(), clean.cells.len());
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&killed_dir);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outputs() {
+        let spec = StudySpec {
+            dcs: vec![DataCenterId::Airlines, DataCenterId::Banking],
+            planners: vec![PlannerKind::SemiStatic, PlannerKind::Dynamic],
+            ..StudySpec::new(0.02, 5, 5, 1)
+        };
+        let serial_dir = tmp_dir("jobs-serial");
+        let serial = run_study_jobs(&spec, &serial_dir, &CancelToken::new(), 1).unwrap();
+        let parallel_dir = tmp_dir("jobs-parallel");
+        let parallel = run_study_jobs(&spec, &parallel_dir, &CancelToken::new(), 4).unwrap();
+        assert_eq!(serial.status, StudyStatus::Completed);
+        assert_eq!(parallel.status, StudyStatus::Completed);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!((a.dc, a.kind), (b.dc, b.kind), "grid order must match");
+            assert_eq!(
+                encode_report(a.report.as_ref().unwrap()),
+                encode_report(b.report.as_ref().unwrap()),
+                "cell {}/{} diverged across worker counts",
+                a.dc.letter(),
+                a.kind.label()
+            );
+        }
+        for file in ["cells.csv", "STUDY.md"] {
+            assert_eq!(
+                std::fs::read(serial_dir.join(file)).unwrap(),
+                std::fs::read(parallel_dir.join(file)).unwrap(),
+                "{file} differs between --jobs 1 and --jobs 4"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&parallel_dir);
+    }
+
+    #[test]
+    fn parallel_study_killed_and_resumed_matches_serial() {
+        let spec = StudySpec {
+            dcs: vec![DataCenterId::Airlines, DataCenterId::Banking],
+            planners: vec![PlannerKind::SemiStatic, PlannerKind::Dynamic],
+            ..StudySpec::new(0.02, 5, 5, 1)
+        };
+        let clean_dir = tmp_dir("par-clean");
+        let clean = run_study_jobs(&spec, &clean_dir, &CancelToken::new(), 1).unwrap();
+
+        let killed_dir = tmp_dir("par-killed");
+        let token = CancelToken::new();
+        token.cancel_after_hours(30); // fires with several cells in flight
+        let partial = run_study_jobs(&spec, &killed_dir, &token, 4).unwrap();
+        assert_eq!(partial.status, StudyStatus::Interrupted);
+
+        // Resume under a different worker count than the original run.
+        let resumed = resume_study_jobs(&killed_dir, None, &CancelToken::new(), 2).unwrap();
+        assert_eq!(resumed.status, StudyStatus::Completed);
+        assert_eq!(resumed.cells.len(), clean.cells.len());
+        for (a, b) in clean.cells.iter().zip(&resumed.cells) {
+            assert_eq!(
+                encode_report(a.report.as_ref().unwrap()),
+                encode_report(b.report.as_ref().unwrap()),
+                "cell {}/{} diverged after parallel kill+resume",
+                a.dc.letter(),
+                a.kind.label()
+            );
+        }
+        assert_eq!(
+            std::fs::read(clean_dir.join("cells.csv")).unwrap(),
+            std::fs::read(killed_dir.join("cells.csv")).unwrap()
+        );
         let _ = std::fs::remove_dir_all(&clean_dir);
         let _ = std::fs::remove_dir_all(&killed_dir);
     }

@@ -283,11 +283,51 @@ struct FaultState {
     schedule: CrashSchedule,
     /// The placement actually in effect, chasing the plan's target
     /// placement through (possibly failing) migrations.
-    current: Placement,
+    current: EffectivePlacement,
     was_down: Vec<bool>,
     /// VMs resident on a crashed host, awaiting evacuation or repair.
     down_vms: BTreeSet<VmId>,
     precopy: PrecopyConfig,
+}
+
+/// Copy-on-write handle for the in-effect placement of a faulted replay.
+///
+/// In the common case — no fault fired this interval — the in-effect
+/// placement is *identical* (content and storage order) to the plan's
+/// placement for some hour, so cloning it every interval is pure
+/// allocation churn. `Synced(k)` records that identity without a copy;
+/// a private buffer is materialised only when the replay actually
+/// diverges (a failed/deferred migration or an evacuation re-homing).
+#[derive(Debug)]
+enum EffectivePlacement {
+    /// Identical — content *and* storage order — to
+    /// `plan.placements.at_hour(k)`.
+    Synced(usize),
+    /// Diverged from the plan; owns the materialised placement.
+    Diverged(Placement),
+}
+
+impl EffectivePlacement {
+    /// The placement this handle denotes.
+    fn resolve<'p>(&'p self, plan: &'p ConsolidationPlan) -> &'p Placement {
+        match self {
+            EffectivePlacement::Synced(k) => plan.placements.at_hour(*k),
+            EffectivePlacement::Diverged(p) => p,
+        }
+    }
+
+    /// Mutable access, materialising the private buffer on first use.
+    /// The clone starts from the synced hour's plan placement, so the
+    /// storage order matches what a clone-eager implementation held.
+    fn make_mut(&mut self, plan: &ConsolidationPlan) -> &mut Placement {
+        if let EffectivePlacement::Synced(k) = self {
+            *self = EffectivePlacement::Diverged(plan.placements.at_hour(*k).clone());
+        }
+        match self {
+            EffectivePlacement::Diverged(p) => p,
+            EffectivePlacement::Synced(_) => unreachable!("just materialised"),
+        }
+    }
 }
 
 /// Per-host running aggregate (checkpointed losslessly as
@@ -369,7 +409,7 @@ impl<'a> Replay<'a> {
         let capacities: Vec<Resources> = plan.dc.iter().map(|h| h.model.capacity()).collect();
         let state = faults.map(|f| FaultState {
             schedule: CrashSchedule::generate(f, n_hosts, hours),
-            current: plan.placements.at_hour(0).clone(),
+            current: EffectivePlacement::Synced(0),
             was_down: vec![false; n_hosts],
             down_vms: BTreeSet::new(),
             precopy: PrecopyConfig::gigabit(),
@@ -467,7 +507,7 @@ impl<'a> Replay<'a> {
                     current.assign(vm, *host);
                 }
             }
-            st.current = current;
+            st.current = EffectivePlacement::Diverged(current);
             st.was_down = fs.was_down.clone();
             st.down_vms = fs.down_vms.iter().copied().collect();
         }
@@ -521,15 +561,16 @@ impl<'a> Replay<'a> {
                 .iter()
                 .map(|(&vm, &(r, stale))| (vm, r, stale))
                 .collect(),
-            fault: self.state.as_ref().map(|st| FaultStateCheckpoint {
-                current: st
-                    .current
-                    .active_hosts()
-                    .into_iter()
-                    .map(|h| (h, st.current.vms_on(h).to_vec()))
-                    .collect(),
-                was_down: st.was_down.clone(),
-                down_vms: st.down_vms.iter().copied().collect(),
+            fault: self.state.as_ref().map(|st| {
+                let current = st.current.resolve(self.plan);
+                FaultStateCheckpoint {
+                    current: current
+                        .active()
+                        .map(|(h, vms)| (h, vms.to_vec()))
+                        .collect(),
+                    was_down: st.was_down.clone(),
+                    down_vms: st.down_vms.iter().copied().collect(),
+                }
             }),
         }
     }
@@ -569,14 +610,15 @@ impl<'a> Replay<'a> {
         }
         let faults = self.faults.as_ref();
         let state = self.state.as_ref();
-        let placement: &Placement = state.map_or(target, |st| &st.current);
+        let plan = self.plan;
+        let placement: &Placement = state.map_or(target, |st| st.current.resolve(plan));
         let mut active_hosts = 0;
         let mut watts = 0.0;
         let mut contended_hosts = 0;
         let mut cpu_cont_total = 0.0;
         let mut mem_cont_total = 0.0;
 
-        for host in placement.active_hosts() {
+        for (host, vms) in placement.active() {
             if let Some(st) = state {
                 // Crashed hosts serve nothing and draw no power; their
                 // VMs accrued downtime in step_faults.
@@ -584,7 +626,6 @@ impl<'a> Replay<'a> {
                     continue;
                 }
             }
-            let vms = placement.vms_on(host);
             debug_assert!(!vms.is_empty());
             let mut demand = Resources::ZERO;
             for &vm in vms {
@@ -798,11 +839,11 @@ fn step_faults(
         let down_now = st.schedule.is_down(host, h);
         if down_now && !st.was_down[i] {
             ledger.host_crashes += 1;
-            for &vm in st.current.vms_on(host) {
+            for &vm in st.current.resolve(plan).vms_on(host) {
                 st.down_vms.insert(vm);
             }
         } else if !down_now && st.was_down[i] {
-            for &vm in st.current.vms_on(host) {
+            for &vm in st.current.resolve(plan).vms_on(host) {
                 st.down_vms.remove(&vm);
             }
         }
@@ -816,7 +857,7 @@ fn step_faults(
     //    boundary re-requests them.
     if boundary {
         let mut clean = true;
-        for (vm, from, to) in st.current.moved_vms(target) {
+        for (vm, from, to) in st.current.resolve(plan).moved_vms(target) {
             if st.down_vms.contains(&vm)
                 || st.schedule.is_down(from, h)
                 || st.schedule.is_down(to, h)
@@ -826,12 +867,13 @@ fn step_faults(
                 continue;
             }
             let violates = fcfg.enforce_reliability_thresholds && {
+                let cur = st.current.resolve(plan);
                 let load_of = |host: HostId| -> HostLoad {
                     let cap = capacities
                         .get(host.0 as usize)
                         .copied()
                         .unwrap_or(Resources::new(1.0, 1.0));
-                    let d = st.current.demand_on(host, demand_of);
+                    let d = cur.demand_on(host, demand_of);
                     HostLoad::new(d.cpu_rpe2 / cap.cpu_rpe2, d.mem_mb / cap.mem_mb)
                 };
                 !config.thresholds.is_reliable(load_of(from))
@@ -847,7 +889,7 @@ fn step_faults(
                 (demand.cpu_rpe2 / cap.cpu_rpe2).clamp(0.0, 1.0),
             );
             let src_load = {
-                let d = st.current.demand_on(from, demand_of);
+                let d = st.current.resolve(plan).demand_on(from, demand_of);
                 HostLoad::new(d.cpu_rpe2 / cap.cpu_rpe2, d.mem_mb / cap.mem_mb)
             };
             let duration = st.precopy.simulate(&profile, src_load).total_secs;
@@ -859,17 +901,18 @@ fn step_faults(
                 ledger.retried_migrations += 1;
             }
             if outcome.succeeded {
-                st.current.assign(vm, to);
+                st.current.make_mut(plan).assign(vm, to);
             } else {
                 ledger.abandoned_migrations += 1;
                 clean = false;
             }
         }
         if clean && st.down_vms.is_empty() {
-            // Fully synced: snap to the target so the in-effect placement
-            // is *identical* (including iteration order) to the plan's —
-            // this is what makes zero-rate replay bit-identical.
-            st.current = target.clone();
+            // Fully synced: the in-effect placement is *identical*
+            // (including iteration order) to the plan's target for this
+            // hour — recording that identity instead of cloning is what
+            // makes zero-rate replay bit-identical *and* allocation-free.
+            st.current = EffectivePlacement::Synced(h);
         }
     }
 
@@ -883,31 +926,48 @@ fn step_faults(
             .map(|i| HostId(i as u32))
             .collect();
         for &host in &down_hosts {
-            if !st.current.vms_on(host).iter().any(|v| st.down_vms.contains(v)) {
+            let cur = st.current.resolve(plan);
+            if !cur.vms_on(host).iter().any(|v| st.down_vms.contains(v)) {
                 continue;
             }
             // Other crashed hosts must be invisible to the drain's
-            // destination search: hide their residents.
-            let mut visible = st.current.clone();
-            for &other in &down_hosts {
-                if other == host {
-                    continue;
+            // destination search: hide their residents. With a single
+            // crashed host there is nothing to hide, so the in-effect
+            // placement already *is* the drain's visible world and the
+            // per-hour clone is skipped.
+            let dp = if down_hosts.len() == 1 {
+                plan_drain(
+                    input,
+                    cur,
+                    host,
+                    &plan.dc,
+                    h,
+                    fcfg.evacuation_bounds,
+                    &st.precopy,
+                )
+            } else {
+                let mut visible = cur.clone();
+                for &other in &down_hosts {
+                    if other == host {
+                        continue;
+                    }
+                    for vm in visible.vms_on(other).to_vec() {
+                        visible.remove(vm);
+                    }
                 }
-                for vm in visible.vms_on(other).to_vec() {
-                    visible.remove(vm);
-                }
-            }
-            if let Ok(dp) = plan_drain(
-                input,
-                &visible,
-                host,
-                &plan.dc,
-                h,
-                fcfg.evacuation_bounds,
-                &st.precopy,
-            ) {
+                plan_drain(
+                    input,
+                    &visible,
+                    host,
+                    &plan.dc,
+                    h,
+                    fcfg.evacuation_bounds,
+                    &st.precopy,
+                )
+            };
+            if let Ok(dp) = dp {
                 for (vm, dest) in dp.moves {
-                    st.current.assign(vm, dest);
+                    st.current.make_mut(plan).assign(vm, dest);
                     if st.down_vms.remove(&vm) {
                         ledger.evacuations += 1;
                     }

@@ -63,8 +63,8 @@ impl SlaReport {
             .collect();
         v.sort_by(|a, b| {
             b.unserved_fraction()
-                .partial_cmp(&a.unserved_fraction())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.unserved_fraction())
+                .then_with(|| a.vm.cmp(&b.vm))
         });
         v
     }
@@ -124,11 +124,12 @@ pub fn analyze(
         })
         .collect();
 
+    // One demand buffer for the whole sweep; refilled per host-hour.
+    let mut demands: Vec<(VmId, Resources)> = Vec::new();
     for h in 0..hours {
         let placement = plan.placements.at_hour(h);
-        for host in placement.active_hosts() {
-            let vms = placement.vms_on(host);
-            let mut demands: Vec<(VmId, Resources)> = Vec::with_capacity(vms.len());
+        for (host, vms) in placement.active() {
+            demands.clear();
             for &vm in vms {
                 let trace = input
                     .vm_trace(vm)
@@ -140,7 +141,7 @@ pub fn analyze(
                 .get(host.0 as usize)
                 .ok_or(EmulatorError::UnknownHost { host })?;
             let unserved = (total_cpu - capacity.cpu_rpe2).max(0.0);
-            for (vm, d) in demands {
+            for &(vm, d) in &demands {
                 let s = acc.entry(vm).or_insert(VmSla {
                     vm,
                     violation_hours: 0,

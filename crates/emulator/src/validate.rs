@@ -225,14 +225,40 @@ impl fmt::Display for InvariantViolation {
 
 impl std::error::Error for InvariantViolation {}
 
+/// Reusable buffers for [`check_checkpoint_with`]. A supervisor that
+/// validates a checkpoint every few replay hours keeps one of these per
+/// cell so the duplicate-placement scan allocates only on its first use
+/// (and whenever a checkpoint outgrows the retained capacity).
+#[derive(Debug, Default)]
+pub struct CheckScratch {
+    placed: Vec<(vmcw_cluster::vm::VmId, vmcw_cluster::datacenter::HostId)>,
+}
+
 /// Checks every structural invariant of `ckpt` for a fleet of `n_hosts`
 /// hosts, and — when the previous checkpoint of the same run is given —
 /// the cross-checkpoint monotonicity invariants.
+///
+/// One-shot convenience over [`check_checkpoint_with`]; callers on a
+/// repeated path should hold a [`CheckScratch`] instead.
 ///
 /// # Errors
 ///
 /// The first violated [`ReplayInvariant`], as an [`InvariantViolation`].
 pub fn check_checkpoint(
+    ckpt: &crate::checkpoint::ReplayCheckpoint,
+    n_hosts: usize,
+    prev: Option<&crate::checkpoint::ReplayCheckpoint>,
+) -> Result<(), InvariantViolation> {
+    check_checkpoint_with(&mut CheckScratch::default(), ckpt, n_hosts, prev)
+}
+
+/// [`check_checkpoint`] with caller-owned scratch buffers.
+///
+/// # Errors
+///
+/// The first violated [`ReplayInvariant`], as an [`InvariantViolation`].
+pub fn check_checkpoint_with(
+    scratch: &mut CheckScratch,
     ckpt: &crate::checkpoint::ReplayCheckpoint,
     n_hosts: usize,
     prev: Option<&crate::checkpoint::ReplayCheckpoint>,
@@ -295,7 +321,7 @@ pub fn check_checkpoint(
                 format!("{} down flags for {} hosts", fs.was_down.len(), n_hosts),
             ));
         }
-        let mut seen = std::collections::BTreeMap::new();
+        scratch.placed.clear();
         for (host, vms) in &fs.current {
             if host.0 as usize >= n_hosts {
                 return Err(fail(
@@ -303,13 +329,19 @@ pub fn check_checkpoint(
                     format!("{host} is not provisioned (fleet of {n_hosts})"),
                 ));
             }
-            for &vm in vms {
-                if let Some(other) = seen.insert(vm, *host) {
-                    return Err(fail(
-                        ReplayInvariant::VmDoublePlaced,
-                        format!("{vm} on both {other} and {host}"),
-                    ));
-                }
+            scratch.placed.extend(vms.iter().map(|&vm| (vm, *host)));
+        }
+        // Duplicate detection by sort + adjacent scan over the retained
+        // buffer: the hosts arrive in ascending order, so for a doubly
+        // placed VM the pair order matches the old insertion-order map.
+        scratch.placed.sort_unstable();
+        for w in scratch.placed.windows(2) {
+            if w[0].0 == w[1].0 {
+                let (vm, other, host) = (w[0].0, w[0].1, w[1].1);
+                return Err(fail(
+                    ReplayInvariant::VmDoublePlaced,
+                    format!("{vm} on both {other} and {host}"),
+                ));
             }
         }
     }

@@ -499,6 +499,94 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sort-key totality: every float-keyed ordering in the planners must be
+// NaN-free, total and stable (ties broken by id), so plans never depend
+// on the incidental insertion order of equal keys.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn float_sort_keys_are_total_and_stable(
+        raw in proptest::collection::vec((-1000.0f64..1000.0, 0u32..8), 1..80),
+    ) {
+        // Mirrors the planner sort shape: descending key, ascending id
+        // tie-break, exactly as dynamic.rs / ffd.rs / drain.rs sort.
+        // A slice of the keys is degenerate: NaN, +0.0 and -0.0 all occur.
+        let mut items: Vec<(u32, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, tag))| {
+                let key = match tag {
+                    0 => f64::NAN,
+                    1 => 0.0,
+                    2 => -0.0,
+                    _ => k,
+                };
+                (i as u32, key)
+            })
+            .collect();
+        let sort = |v: &mut Vec<(u32, f64)>| {
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        };
+        sort(&mut items);
+        // Total: sorting any permutation yields the identical order.
+        let mut reversed: Vec<(u32, f64)> = items.iter().copied().rev().collect();
+        sort(&mut reversed);
+        for (a, b) in items.iter().zip(&reversed) {
+            prop_assert_eq!(a.0, b.0, "order must not depend on input order");
+            prop_assert!(a.1 == b.1 || (a.1.is_nan() && b.1.is_nan()));
+        }
+        // The comparator is a strict weak order even with NaN present:
+        // adjacent pairs never compare Greater in sorted position.
+        for w in items.windows(2) {
+            let ord = w[1].1.total_cmp(&w[0].1).then_with(|| w[0].0.cmp(&w[1].0));
+            prop_assert!(ord != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn planner_sort_sites_never_panic_on_degenerate_demands(
+        demands in proptest::collection::vec((0.0f64..50.0, 0.0f64..500.0), 1..30),
+    ) {
+        // Zero-capacity reference exercises the 0/0 → NaN path that
+        // `partial_cmp(..).unwrap_or(Equal)` used to swallow silently:
+        // dominant_share against a zero effective capacity is NaN, and
+        // the sort must still terminate with a deterministic order.
+        use vmcw_repro::consolidation::ffd::OrderKey;
+        let reference = Resources::ZERO;
+        let mut keyed: Vec<(usize, Resources)> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, m))| (i, Resources::new(c, m)))
+            .collect();
+        keyed.sort_by(|a, b| {
+            OrderKey::Dominant
+                .key(&b.1, &reference)
+                .total_cmp(&OrderKey::Dominant.key(&a.1, &reference))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        // Same multiset out as in, and the order is reproducible.
+        prop_assert_eq!(keyed.len(), demands.len());
+        let mut again: Vec<(usize, Resources)> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, m))| (i, Resources::new(c, m)))
+            .collect();
+        again.sort_by(|a, b| {
+            OrderKey::Dominant
+                .key(&b.1, &reference)
+                .total_cmp(&OrderKey::Dominant.key(&a.1, &reference))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let ids: Vec<usize> = keyed.iter().map(|k| k.0).collect();
+        let ids2: Vec<usize> = again.iter().map(|k| k.0).collect();
+        prop_assert_eq!(ids, ids2);
+    }
+}
+
 proptest! {
     // Full fault replays are costly; a handful of cases is enough to
     // catch order or seed sensitivity.
