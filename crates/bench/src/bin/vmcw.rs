@@ -17,10 +17,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use vmcw_cluster::server::ServerModel;
 use vmcw_consolidation::planner::PlannerKind;
+use vmcw_core::health::HealthSnapshot;
 use vmcw_core::study::{Study, StudyConfig};
 use vmcw_core::supervise::{
-    resume_study_jobs, run_study_jobs, CancelToken, CellOutcome, StudyStatus, SuperviseError,
-    StudySpec,
+    resume_study_opts, run_study_opts, CancelToken, CellOutcome, CellRetryPolicy, ChaosConfig,
+    RunOptions, StudyStatus, SuperviseError, StudySpec,
 };
 use vmcw_emulator::report;
 use vmcw_trace::datacenters::{DataCenterId, GeneratedWorkload, GeneratorConfig};
@@ -35,8 +36,9 @@ usage:
   vmcw drain <trace.csv> --host N [--dc NAME] [--history-days N] [--fabric 1gbe|10gbe]
   vmcw estate <trace.csv> --hs23 N [--hs22 M] [--dc NAME] [--history-days N]
   vmcw faults <trace.csv> [--dc NAME] [--history-days N] [--seed N] [--mtbf H] [--mttr H] [--mig-fail F] [--dropout F] [--thresholds on|off]
-  vmcw study --out DIR [--jobs N] [--scale F] [--seed N] [--history-days N] [--eval-days N] [--faults on|off] [--ckpt-hours N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
-  vmcw study --resume DIR [--jobs N] [--max-hours N] [--max-secs F] [--kill-after-hours N]
+  vmcw study --out DIR [--jobs N] [--scale F] [--seed N] [--history-days N] [--eval-days N] [--faults on|off] [--ckpt-hours N] [--max-hours N] [--max-secs F] [--kill-after-hours N] [--max-retries N] [--heartbeat-timeout SECS]
+  vmcw study --resume DIR [--jobs N] [--max-hours N] [--max-secs F] [--kill-after-hours N] [--max-retries N] [--heartbeat-timeout SECS]
+  vmcw health DIR
   vmcw bench [--scale F[,F...]] [--seed N] [--out DIR]
 
 exit codes: 0 success · 1 runtime failure · 2 bad arguments or unreadable input";
@@ -111,6 +113,7 @@ fn main() -> ExitCode {
         "estate" => cmd_estate(rest),
         "faults" => cmd_faults(rest),
         "study" => cmd_study(rest),
+        "health" => cmd_health(rest),
         "bench" => cmd_bench(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -159,6 +162,50 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
             })
             .map_err(usage)
     })?;
+    let mut retry = CellRetryPolicy::default_policy();
+    if let Some(v) = args.flags.get("max-retries") {
+        // --max-retries counts *re*-runs: 0 means a single attempt.
+        let retries: usize = v
+            .parse()
+            .map_err(|e| usage(format!("bad --max-retries: {e}")))?;
+        retry.max_attempts = retries + 1;
+    }
+    let heartbeat_timeout_secs = args
+        .flags
+        .get("heartbeat-timeout")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| format!("bad --heartbeat-timeout: {e}"))
+                .and_then(|s: f64| {
+                    if s.is_finite() && s > 0.0 {
+                        Ok(s)
+                    } else {
+                        Err(format!("--heartbeat-timeout must be positive, got {s}"))
+                    }
+                })
+                .map_err(usage)
+        })
+        .transpose()?;
+    let chaos = ChaosConfig::from_env();
+    if let Some(c) = &chaos {
+        eprintln!(
+            "chaos: injecting {} into cell {}/{} before hour {}{}",
+            match c.mode {
+                vmcw_core::supervise::ChaosMode::Panic => "a panic",
+                vmcw_core::supervise::ChaosMode::Hang => "a hang",
+            },
+            c.dc,
+            c.planner,
+            c.hour,
+            if c.one_shot { " (one-shot)" } else { "" }
+        );
+    }
+    let opts = RunOptions {
+        jobs,
+        retry,
+        heartbeat_timeout_secs,
+        chaos,
+    };
     let parse_budget = |args: &Args| -> Result<vmcw_core::supervise::CellBudget, CliError> {
         let mut budget = vmcw_core::supervise::CellBudget::unlimited();
         if let Some(v) = args.flags.get("max-hours") {
@@ -193,7 +240,7 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
             || args.flags.contains_key("max-secs"))
         .then(|| parse_budget(&args))
         .transpose()?;
-        resume_study_jobs(Path::new(dir), budget, &token, jobs).map_err(classify)?
+        resume_study_opts(Path::new(dir), budget, &token, &opts).map_err(classify)?
     } else {
         let dir = args
             .flags
@@ -231,7 +278,7 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
             other => return Err(usage(format!("bad --faults `{other}` (want on|off)"))),
         }
         spec.budget = parse_budget(&args)?;
-        run_study_jobs(&spec, Path::new(dir), &token, jobs).map_err(classify)?
+        run_study_opts(&spec, Path::new(dir), &token, &opts).map_err(classify)?
     };
 
     println!(
@@ -247,6 +294,10 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
             CellOutcome::Completed => String::new(),
             CellOutcome::Degraded { reason, .. } => reason.clone(),
             CellOutcome::Aborted { error } => error.clone(),
+            CellOutcome::Crashed { message, .. } => message.clone(),
+            CellOutcome::Quarantined { attempts, .. } => {
+                format!("quarantined after {attempts} attempt(s)")
+            }
         };
         println!(
             "{:<4} {:<12} {:<10} {:>6} {:>6}  {}",
@@ -270,6 +321,61 @@ fn cmd_study(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(tail) = &report.tail_dropped {
         println!("note: discarded corrupt journal tail ({tail})");
+    }
+    // A quarantined cell means the study finished but is missing
+    // results it was asked for — that's a runtime failure (exit 1), so
+    // CI and scripts notice even though the sibling cells are intact.
+    let quarantined: Vec<String> = report
+        .cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::Quarantined { .. }))
+        .map(|c| format!("{}/{}", c.dc.letter(), c.kind.label()))
+        .collect();
+    if !quarantined.is_empty() {
+        return Err(run_err(format!(
+            "{} cell(s) quarantined after exhausting retries: {}",
+            quarantined.len(),
+            quarantined.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// `vmcw health DIR` — renders the study's `health.json` telemetry:
+/// per-cell state, attempt, progress, heartbeat age and throughput.
+/// Works on a live run (the supervisor rewrites the file atomically)
+/// and on a dead one (the last snapshot is the post-mortem).
+fn cmd_health(args: &[String]) -> Result<(), CliError> {
+    let args = parse_args(args).map_err(usage)?;
+    let dir = args
+        .positional
+        .first()
+        .ok_or_else(|| usage("health needs a study directory"))?;
+    let path = Path::new(dir).join(vmcw_core::health::HEALTH_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| usage(format!("failed to read {}: {e}", path.display())))?;
+    let snapshot = HealthSnapshot::parse(&text)
+        .map_err(|e| run_err(format!("failed to parse {}: {e}", path.display())))?;
+    println!("study status: {}", snapshot.status);
+    println!(
+        "{:<16} {:<12} {:>7} {:>11} {:>9} {:>10}  incidents",
+        "cell", "state", "attempt", "hours", "beat_age", "steps/s"
+    );
+    for c in &snapshot.cells {
+        println!(
+            "{:<16} {:<12} {:>7} {:>5}/{:<5} {:>8.1}s {:>10.1}  {}",
+            c.cell,
+            c.state,
+            c.attempt,
+            c.hours_done,
+            c.hours_total,
+            c.beat_age_secs,
+            c.steps_per_sec,
+            c.incidents.len()
+        );
+        for incident in &c.incidents {
+            println!("  ! {incident}");
+        }
     }
     Ok(())
 }
@@ -335,7 +441,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         }
         let path = Path::new(out_dir).join(file);
         // Writing results is runtime work: an unwritable --out is exit 1.
-        std::fs::write(&path, suite.to_json()).map_err(run_err)?;
+        std::fs::write(&path, suite.to_json())
+            .map_err(|e| run_err(format!("failed to write {}: {e}", path.display())))?;
         wrote.push(path.display().to_string());
     }
     println!("wrote {}", wrote.join(" and "));
@@ -362,7 +469,8 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
         .generate(seed);
     // Writing the output is runtime work: an unwritable path is exit 1,
     // not a usage error.
-    io::save(&workload, &out).map_err(run_err)?;
+    io::save(&workload, &out)
+        .map_err(|e| run_err(format!("failed to write {}: {e}", out.display())))?;
     println!(
         "wrote {} servers x {days} days of the {dc} workload to {}",
         workload.servers.len(),

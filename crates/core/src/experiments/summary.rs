@@ -284,6 +284,10 @@ pub fn study_markdown(report: &crate::supervise::StudyReport) -> String {
             CellOutcome::Completed => String::new(),
             CellOutcome::Degraded { reason, .. } => reason.clone(),
             CellOutcome::Aborted { error } => error.clone(),
+            CellOutcome::Crashed { message, .. } => message.clone(),
+            CellOutcome::Quarantined { attempts, .. } => {
+                format!("quarantined after {attempts} attempt(s)")
+            }
         };
         let _ = writeln!(
             out,
@@ -305,7 +309,12 @@ pub fn study_markdown(report: &crate::supervise::StudyReport) -> String {
     let aborted = report
         .cells
         .iter()
-        .filter(|c| matches!(c.outcome, CellOutcome::Aborted { .. }))
+        .filter(|c| {
+            matches!(
+                c.outcome,
+                CellOutcome::Aborted { .. } | CellOutcome::Crashed { .. }
+            )
+        })
         .count();
     if degraded + aborted > 0 {
         let _ = writeln!(
@@ -313,6 +322,38 @@ pub fn study_markdown(report: &crate::supervise::StudyReport) -> String {
             "\n{degraded} degraded and {aborted} aborted cell(s); their rows report the \
              completed prefix only. See docs/DURABILITY.md for resume semantics."
         );
+    }
+    let quarantined: Vec<_> = report
+        .cells
+        .iter()
+        .filter_map(|c| match &c.outcome {
+            CellOutcome::Quarantined {
+                attempts,
+                incidents,
+            } => Some((c, *attempts, incidents)),
+            _ => None,
+        })
+        .collect();
+    if !quarantined.is_empty() {
+        let _ = writeln!(out, "\n## Failure matrix\n");
+        let _ = writeln!(
+            out,
+            "{} cell(s) exhausted their retry budget and were quarantined; their \
+             results are excluded above. Incident log per cell (see \
+             docs/ROBUSTNESS.md for the supervision model):\n",
+            quarantined.len()
+        );
+        for (cell, attempts, incidents) in quarantined {
+            let _ = writeln!(
+                out,
+                "* `{}/{}` — {attempts} attempt(s):",
+                cell.dc.letter(),
+                cell.kind.label()
+            );
+            for incident in incidents {
+                let _ = writeln!(out, "  * {incident}");
+            }
+        }
     }
     out
 }

@@ -1,0 +1,508 @@
+//! Health telemetry for supervised studies (`health.json`).
+//!
+//! The supervisor's monitor thread periodically rewrites an atomic
+//! `health.json` next to the study journal: one entry per grid cell
+//! with its state, attempt count, progress, heartbeat age and
+//! steps/sec. `vmcw health <dir>` renders it for a live run (watch the
+//! file change) or a dead one (the last written snapshot is the
+//! post-mortem). The format is plain JSON so any off-the-shelf tool
+//! can consume it; the encoder *and* the schema-checked parser live
+//! here because this workspace is offline and carries no JSON
+//! dependency.
+
+use std::fmt;
+
+/// File name of the health snapshot inside a study directory.
+pub const HEALTH_FILE: &str = "health.json";
+
+/// Schema tag written into every snapshot.
+pub const HEALTH_SCHEMA: &str = "vmcw-health/v1";
+
+/// Health of one study cell at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellHealth {
+    /// Cell id, `<data-center letter>/<planner label>`.
+    pub cell: String,
+    /// Lifecycle state: `pending`, `running`, `backoff`, `crashed`,
+    /// `completed`, `degraded`, `aborted`, `quarantined` or
+    /// `interrupted`.
+    pub state: String,
+    /// Current (or final) attempt number, 1-based; 0 before the first.
+    pub attempt: usize,
+    /// Replay hours completed.
+    pub hours_done: usize,
+    /// Replay hours in the full horizon.
+    pub hours_total: usize,
+    /// Heartbeat count of the current attempt.
+    pub steps: u64,
+    /// Seconds since the cell last beat (0 when not running).
+    pub beat_age_secs: f64,
+    /// Mean steps per second over the current attempt.
+    pub steps_per_sec: f64,
+    /// Incident log: one line per crash/watchdog event so far.
+    pub incidents: Vec<String>,
+}
+
+/// One periodically-rewritten `health.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Study status: `running`, `completed`, `interrupted` or `failed`.
+    pub status: String,
+    /// Per-cell health, grid order.
+    pub cells: Vec<CellHealth>,
+}
+
+/// Why a `health.json` could not be understood.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthError {
+    /// Not valid JSON.
+    Syntax {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What was expected.
+        detail: String,
+    },
+    /// Valid JSON, wrong shape or schema tag.
+    Schema {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for HealthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthError::Syntax { offset, detail } => {
+                write!(f, "bad JSON at byte {offset}: {detail}")
+            }
+            HealthError::Schema { detail } => write!(f, "bad health schema: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HealthError {}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl HealthSnapshot {
+    /// Serialises the snapshot as strict JSON, one cell per line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_string(HEALTH_SCHEMA)));
+        out.push_str(&format!("  \"status\": {},\n", json_string(&self.status)));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let incidents: Vec<String> = c.incidents.iter().map(|s| json_string(s)).collect();
+            out.push_str(&format!(
+                "    {{\"cell\": {}, \"state\": {}, \"attempt\": {}, \"hours_done\": {}, \
+                 \"hours_total\": {}, \"steps\": {}, \"beat_age_secs\": {:.3}, \
+                 \"steps_per_sec\": {:.3}, \"incidents\": [{}]}}{}\n",
+                json_string(&c.cell),
+                json_string(&c.state),
+                c.attempt,
+                c.hours_done,
+                c.hours_total,
+                c.steps,
+                c.beat_age_secs,
+                c.steps_per_sec,
+                incidents.join(", "),
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses [`to_json`](Self::to_json) output (any JSON with the same
+    /// shape, really — field order and whitespace are free).
+    ///
+    /// # Errors
+    ///
+    /// [`HealthError::Syntax`] for malformed JSON,
+    /// [`HealthError::Schema`] for a missing/foreign schema tag or
+    /// wrongly-typed fields.
+    pub fn parse(text: &str) -> Result<Self, HealthError> {
+        let value = Json::parse(text)?;
+        let top = value.as_object("top level")?;
+        let schema = get(top, "schema")?.as_str("schema")?;
+        if schema != HEALTH_SCHEMA {
+            return Err(HealthError::Schema {
+                detail: format!("schema `{schema}` is not `{HEALTH_SCHEMA}`"),
+            });
+        }
+        let status = get(top, "status")?.as_str("status")?.to_owned();
+        let mut cells = Vec::new();
+        for (i, c) in get(top, "cells")?.as_array("cells")?.iter().enumerate() {
+            let ctx = format!("cells[{i}]");
+            let obj = c.as_object(&ctx)?;
+            let num = |key: &str| -> Result<f64, HealthError> {
+                get(obj, key)?.as_number(&format!("{ctx}.{key}"))
+            };
+            let incidents = get(obj, "incidents")?
+                .as_array(&format!("{ctx}.incidents"))?
+                .iter()
+                .map(|v| v.as_str("incident").map(str::to_owned))
+                .collect::<Result<Vec<_>, _>>()?;
+            cells.push(CellHealth {
+                cell: get(obj, "cell")?.as_str(&ctx)?.to_owned(),
+                state: get(obj, "state")?.as_str(&ctx)?.to_owned(),
+                attempt: num("attempt")? as usize,
+                hours_done: num("hours_done")? as usize,
+                hours_total: num("hours_total")? as usize,
+                steps: num("steps")? as u64,
+                beat_age_secs: num("beat_age_secs")?,
+                steps_per_sec: num("steps_per_sec")?,
+                incidents,
+            });
+        }
+        Ok(Self { status, cells })
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, HealthError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| HealthError::Schema {
+            detail: format!("missing field `{key}`"),
+        })
+}
+
+/// A minimal JSON value — just enough to read our own telemetry.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Self, HealthError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing data after the JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    fn wrong(&self, what: &str, want: &str) -> HealthError {
+        HealthError::Schema {
+            detail: format!("{what} is a {} where a {want} was expected", self.type_name()),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, HealthError> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(other.wrong(what, "string")),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64, HealthError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(other.wrong(what, "number")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], HealthError> {
+        match self {
+            Json::Array(a) => Ok(a),
+            other => Err(other.wrong(what, "array")),
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], HealthError> {
+        match self {
+            Json::Object(o) => Ok(o),
+            other => Err(other.wrong(what, "object")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, detail: impl Into<String>) -> HealthError {
+        HealthError::Syntax {
+            offset: self.at,
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), HealthError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, HealthError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, HealthError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, HealthError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, HealthError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, HealthError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Basic-plane escapes only; the encoder never
+                            // emits surrogate pairs.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty string"))?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, HealthError> {
+        let start = self.at;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("bad number"))?;
+        let n: f64 = text.parse().map_err(|_| HealthError::Syntax {
+            offset: start,
+            detail: format!("bad number `{text}`"),
+        })?;
+        Ok(Json::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HealthSnapshot {
+        HealthSnapshot {
+            status: "running".into(),
+            cells: vec![
+                CellHealth {
+                    cell: "A/Dynamic".into(),
+                    state: "running".into(),
+                    attempt: 2,
+                    hours_done: 12,
+                    hours_total: 336,
+                    steps: 12,
+                    beat_age_secs: 0.25,
+                    steps_per_sec: 44.5,
+                    incidents: vec!["attempt 1: panic: boom \"quoted\"\nline2".into()],
+                },
+                CellHealth {
+                    cell: "B/Semi-Static".into(),
+                    state: "pending".into(),
+                    attempt: 0,
+                    hours_done: 0,
+                    hours_total: 336,
+                    steps: 0,
+                    beat_age_secs: 0.0,
+                    steps_per_sec: 0.0,
+                    incidents: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let parsed = HealthSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn foreign_schema_is_rejected() {
+        let text = sample().to_json().replace("vmcw-health/v1", "vmcw-health/v9");
+        let err = HealthSnapshot::parse(&text).unwrap_err();
+        assert!(matches!(err, HealthError::Schema { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_reports_an_offset() {
+        let err = HealthSnapshot::parse("{\"schema\": ").unwrap_err();
+        assert!(matches!(err, HealthError::Syntax { .. }), "{err}");
+        let err = HealthSnapshot::parse("{} trailing").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_schema_errors() {
+        let err = HealthSnapshot::parse("{\"schema\": \"vmcw-health/v1\"}").unwrap_err();
+        assert!(err.to_string().contains("status"), "{err}");
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_reordered_fields() {
+        let text = "  { \"cells\" : [ ] , \"status\" : \"completed\" , \
+                    \"schema\" : \"vmcw-health/v1\" }  ";
+        let snap = HealthSnapshot::parse(text).unwrap();
+        assert_eq!(snap.status, "completed");
+        assert!(snap.cells.is_empty());
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod health;
 pub mod journal;
 pub mod render;
 pub mod study;
@@ -46,11 +47,13 @@ pub use vmcw_trace as trace;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::health::{CellHealth, HealthSnapshot};
     pub use crate::journal::{write_atomic, Journal};
     pub use crate::render::Table;
     pub use crate::study::{Study, StudyConfig, StudyError, StudyRun};
     pub use crate::supervise::{
-        resume_study, run_study, CancelToken, CellBudget, CellOutcome, StudyReport, StudySpec,
+        resume_study, run_study, run_study_opts, CancelToken, CellBudget, CellOutcome,
+        CellRetryPolicy, RunOptions, StudyReport, StudySpec,
     };
     pub use vmcw_cluster::cost::FacilityCostModel;
     pub use vmcw_cluster::server::ServerModel;

@@ -25,26 +25,45 @@
 //! `STUDY.md` are merged in grid order (data center major, planner
 //! minor), making them byte-identical for any worker count — see
 //! docs/PERFORMANCE.md for the determinism argument.
+//!
+//! The supervisor is *self-healing* (docs/ROBUSTNESS.md has the
+//! supervision tree): each cell attempt runs under `catch_unwind`, so a
+//! panicking planner becomes a journaled [`CellOutcome::Crashed`]
+//! incident instead of killing the run; a monitor thread watches
+//! per-cell [`Heartbeat`]s and cooperatively cancels cells that stop
+//! beating (hangs become `Degraded`, never wedged studies); crashed and
+//! watchdog-stopped cells are retried from their last journaled
+//! checkpoint under a [`CellRetryPolicy`] (exponential backoff, jitter
+//! keyed on the study seed) and quarantined into `STUDY.md`'s failure
+//! matrix once attempts are exhausted. A retry resumes from a
+//! checkpoint, so a healed cell's output is *byte-identical* to an
+//! uninterrupted run. The monitor also rewrites an atomic
+//! `health.json` ([`crate::health`]) so `vmcw health <dir>` can inspect
+//! a live or dead run.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::{Duration, Instant};
 
 use vmcw_consolidation::planner::PlannerKind;
 use vmcw_emulator::checkpoint::{
     decode_cost, decode_fault_config, decode_report, enc_f64, encode_cost, encode_fault_config,
     encode_report, fnv1a, CheckpointError, Toks,
 };
-use vmcw_emulator::engine::{EmulationReport, Replay};
+use vmcw_emulator::engine::{EmulationReport, Heartbeat, Replay};
 use vmcw_emulator::faults::FaultConfig;
 use vmcw_emulator::report::{cost_summary, CostSummary};
-use vmcw_emulator::validate::{check_checkpoint_with, CheckScratch, InvariantViolation};
+use vmcw_emulator::validate::{
+    check_checkpoint_with, check_retry_checkpoint, CheckScratch, InvariantViolation,
+};
 use vmcw_emulator::ReplayCheckpoint;
 use vmcw_trace::datacenters::DataCenterId;
 
+use crate::health::{CellHealth, HealthSnapshot, HEALTH_FILE};
 use crate::journal::{write_atomic, Journal, JournalError, TailCorruption};
 use crate::render::{fnum, Table};
 use crate::study::{Study, StudyConfig};
@@ -132,6 +151,165 @@ impl CellBudget {
     }
 }
 
+/// Bounded re-execution of transiently failed cells (panics and
+/// watchdog timeouts). Deterministic failures — typed replay errors,
+/// step-budget exhaustion — are *not* retried: they would fail the same
+/// way again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellRetryPolicy {
+    /// Total attempts per cell per session (1 = no retry).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt, in seconds.
+    pub base_backoff_secs: f64,
+    /// Backoff multiplier per further attempt.
+    pub backoff_factor: f64,
+}
+
+impl CellRetryPolicy {
+    /// Three attempts, 100 ms base backoff doubling per attempt.
+    #[must_use]
+    pub fn default_policy() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_secs: 0.1,
+            backoff_factor: 2.0,
+        }
+    }
+
+    /// A single attempt: the first crash or watchdog stop is terminal.
+    #[must_use]
+    pub fn no_retry() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default_policy()
+        }
+    }
+
+    /// Seconds to wait before `next_attempt` (2-based): exponential in
+    /// the attempt number with a deterministic jitter factor in
+    /// `[0.5, 1.5)` keyed on the study seed and the cell, so two
+    /// sessions of the same study back off identically while distinct
+    /// cells never thunder in herd.
+    #[must_use]
+    pub fn backoff_secs(&self, seed: u64, dc: char, planner: &str, next_attempt: usize) -> f64 {
+        let exp = next_attempt.saturating_sub(2).min(i32::MAX as usize) as i32;
+        let key = fnv1a(format!("retry {seed} {dc} {planner} {next_attempt}").as_bytes());
+        let jitter = 0.5 + key as f64 / (u64::MAX as f64 + 1.0);
+        self.base_backoff_secs * self.backoff_factor.powi(exp) * jitter
+    }
+}
+
+impl Default for CellRetryPolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// What a chaos hook does to its target cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Panic in the cell body right before stepping the configured hour.
+    Panic,
+    /// Stop heartbeating (without stepping) until the watchdog fires.
+    Hang,
+}
+
+/// A fault-injection hook for the *supervisor itself*: deterministically
+/// crash or hang one cell so tests and the CI chaos job can prove that
+/// isolation, retry and quarantine work. Never enabled implicitly — the
+/// CLI wires it from `VMCW_CHAOS_*` environment variables, tests pass it
+/// programmatically via [`RunOptions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Data-center letter of the target cell.
+    pub dc: char,
+    /// Planner label of the target cell (as [`PlannerKind::label`]).
+    pub planner: String,
+    /// Replay hour before which the fault fires.
+    pub hour: usize,
+    /// Crash or hang.
+    pub mode: ChaosMode,
+    /// Fire once per study (the retry then succeeds — the self-healing
+    /// path) instead of once per attempt (exhausts retries — the
+    /// quarantine path).
+    pub one_shot: bool,
+}
+
+impl ChaosConfig {
+    /// Builds a chaos hook from a `<letter>/<planner label>` cell id.
+    /// Returns `None` for a malformed id.
+    #[must_use]
+    pub fn for_cell(cell_id: &str, hour: usize, mode: ChaosMode, one_shot: bool) -> Option<Self> {
+        let (letter, planner) = cell_id.split_once('/')?;
+        let dc = letter.trim().to_ascii_uppercase().chars().next()?;
+        dc_from_letter(dc)?;
+        let kind = PlannerKind::parse(planner.trim())?;
+        Some(Self {
+            dc,
+            planner: kind.label().to_owned(),
+            hour,
+            mode,
+            one_shot,
+        })
+    }
+
+    /// Reads the env-gated chaos hooks: `VMCW_CHAOS_PANIC_CELL=<L>/<planner>`
+    /// or `VMCW_CHAOS_HANG_CELL=<L>/<planner>`, with
+    /// `VMCW_CHAOS_PANIC_HOUR=<N>` (default 2) and `VMCW_CHAOS_ONE_SHOT=1`.
+    /// Returns `None` when no (well-formed) hook is set.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let (cell, mode) = if let Ok(v) = std::env::var("VMCW_CHAOS_PANIC_CELL") {
+            (v, ChaosMode::Panic)
+        } else if let Ok(v) = std::env::var("VMCW_CHAOS_HANG_CELL") {
+            (v, ChaosMode::Hang)
+        } else {
+            return None;
+        };
+        let hour = std::env::var("VMCW_CHAOS_PANIC_HOUR")
+            .ok()
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(2);
+        let one_shot = std::env::var("VMCW_CHAOS_ONE_SHOT").is_ok_and(|v| v == "1");
+        Self::for_cell(&cell, hour, mode, one_shot)
+    }
+
+    fn matches(&self, dc: DataCenterId, kind: PlannerKind) -> bool {
+        self.dc == dc.letter() && self.planner == kind.label()
+    }
+}
+
+/// Session-scoped execution options for [`run_study_opts`] /
+/// [`resume_study_opts`]. None of these are journaled: like worker
+/// count and wall budgets, they shape *how* a session executes, never
+/// *what* the study computes — any combination yields byte-identical
+/// study outputs (chaos aside, and even a healed chaos run matches).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (see [`run_study_jobs`]).
+    pub jobs: usize,
+    /// Retry budget for crashed / watchdog-stopped cells.
+    pub retry: CellRetryPolicy,
+    /// Watchdog deadline: a cell whose heartbeat goes silent for this
+    /// many seconds is cooperatively cancelled. `None` disables the
+    /// watchdog (health telemetry still runs). Must comfortably exceed
+    /// the cell's planning time — planning beats only at its edges.
+    pub heartbeat_timeout_secs: Option<f64>,
+    /// Supervisor fault injection for tests and CI.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            retry: CellRetryPolicy::default_policy(),
+            heartbeat_timeout_secs: None,
+            chaos: None,
+        }
+    }
+}
+
 /// How one planner × data-center cell ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellOutcome {
@@ -150,6 +328,26 @@ pub enum CellOutcome {
         /// The failure.
         error: String,
     },
+    /// An attempt panicked or was stopped by the watchdog. Transient:
+    /// the supervisor retries from the last journaled checkpoint, so
+    /// this is only ever a *terminal* outcome in journals written by
+    /// defensive paths — normally a crash ends as `Completed` (healed)
+    /// or [`Quarantined`](Self::Quarantined) (exhausted).
+    Crashed {
+        /// Single-line panic or watchdog message.
+        message: String,
+        /// Captured backtrace of the crash site (may be empty).
+        backtrace: String,
+    },
+    /// Every retry attempt crashed or hung. The cell is excluded from
+    /// aggregate results; its incident log feeds `STUDY.md`'s failure
+    /// matrix.
+    Quarantined {
+        /// Attempts spent before giving up.
+        attempts: usize,
+        /// One line per incident: `attempt N: panic|watchdog: message`.
+        incidents: Vec<String>,
+    },
 }
 
 impl CellOutcome {
@@ -160,6 +358,8 @@ impl CellOutcome {
             CellOutcome::Completed => "completed",
             CellOutcome::Degraded { .. } => "degraded",
             CellOutcome::Aborted { .. } => "aborted",
+            CellOutcome::Crashed { .. } => "crashed",
+            CellOutcome::Quarantined { .. } => "quarantined",
         }
     }
 }
@@ -476,6 +676,29 @@ pub fn run_study_jobs(
     token: &CancelToken,
     jobs: usize,
 ) -> Result<StudyReport, SuperviseError> {
+    run_study_opts(
+        spec,
+        dir,
+        token,
+        &RunOptions {
+            jobs,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// [`run_study`] with full session [`RunOptions`]: worker count, retry
+/// policy, watchdog deadline and (for tests/CI) chaos injection.
+///
+/// # Errors
+///
+/// As [`run_study`].
+pub fn run_study_opts(
+    spec: &StudySpec,
+    dir: &Path,
+    token: &CancelToken,
+    opts: &RunOptions,
+) -> Result<StudyReport, SuperviseError> {
     std::fs::create_dir_all(dir).map_err(|source| {
         SuperviseError::Journal(JournalError::Io {
             path: dir.to_path_buf(),
@@ -493,7 +716,7 @@ pub fn run_study_jobs(
         None,
         dir,
         token,
-        jobs,
+        opts,
     )
 }
 
@@ -530,6 +753,29 @@ pub fn resume_study_jobs(
     token: &CancelToken,
     jobs: usize,
 ) -> Result<StudyReport, SuperviseError> {
+    resume_study_opts(
+        dir,
+        budget,
+        token,
+        &RunOptions {
+            jobs,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// [`resume_study`] with full session [`RunOptions`] (see
+/// [`run_study_opts`]).
+///
+/// # Errors
+///
+/// As [`resume_study`].
+pub fn resume_study_opts(
+    dir: &Path,
+    budget: Option<CellBudget>,
+    token: &CancelToken,
+    opts: &RunOptions,
+) -> Result<StudyReport, SuperviseError> {
     let path = dir.join(JOURNAL_FILE);
     let (journal, tail) = Journal::open(&path)?;
     let records = journal.records();
@@ -555,7 +801,11 @@ pub fn resume_study_jobs(
         let (head, body) = text.split_once('\n').unwrap_or((text, ""));
         let mut toks = head.split_whitespace();
         match toks.next() {
-            Some("cell-start") => {}
+            // Informational records: cell lifecycle markers, retry
+            // bookkeeping and heartbeat progress watermarks carry no
+            // state that resume needs — checkpoints and cell-done
+            // records are authoritative.
+            Some("cell-start" | "cell-crashed" | "cell-retried" | "heartbeat") => {}
             Some("run-done") => run_done = true,
             Some("checkpoint") => {
                 let (dc, kind) = cell_key(&mut toks, i)?;
@@ -577,6 +827,39 @@ pub fn resume_study_jobs(
                         report: None,
                         cost: None,
                     },
+                    "crashed" => CellReport {
+                        dc,
+                        kind,
+                        outcome: CellOutcome::Crashed {
+                            message: toks.collect::<Vec<_>>().join(" "),
+                            backtrace: body.to_owned(),
+                        },
+                        report: None,
+                        cost: None,
+                    },
+                    "quarantined" => {
+                        let attempts = toks
+                            .next()
+                            .and_then(|a| a.parse().ok())
+                            .ok_or_else(|| SuperviseError::Spec {
+                                detail: format!("journal record {i}: bad quarantine attempts"),
+                            })?;
+                        let incidents = if body.is_empty() {
+                            Vec::new()
+                        } else {
+                            body.lines().map(str::to_owned).collect()
+                        };
+                        CellReport {
+                            dc,
+                            kind,
+                            outcome: CellOutcome::Quarantined {
+                                attempts,
+                                incidents,
+                            },
+                            report: None,
+                            cost: None,
+                        }
+                    }
                     word @ ("completed" | "degraded") => {
                         let outcome = if word == "completed" {
                             CellOutcome::Completed
@@ -621,7 +904,7 @@ pub fn resume_study_jobs(
         }
     }
 
-    drive(spec, journal, done, ckpts, run_done, tail, dir, token, jobs)
+    drive(spec, journal, done, ckpts, run_done, tail, dir, token, opts)
 }
 
 fn cell_key<'a>(
@@ -642,16 +925,136 @@ fn cell_key<'a>(
     Ok((dc, kind))
 }
 
+thread_local! {
+    /// Whether the *current thread* is inside a supervised cell body
+    /// (panics are captured instead of printed).
+    static PANIC_ARMED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Backtrace captured by the hook for the most recent armed panic.
+    static CELL_PANIC: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that captures the
+/// backtrace of supervised-cell panics into a thread-local and stays
+/// silent, while delegating every other panic to the previous hook
+/// untouched.
+fn install_cell_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if PANIC_ARMED.with(std::cell::Cell::get) {
+                let bt = std::backtrace::Backtrace::force_capture().to_string();
+                CELL_PANIC.with(|c| *c.borrow_mut() = Some(bt));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with panic isolation: a panic becomes
+/// `Err((single-line message, backtrace))` instead of unwinding into
+/// the supervisor.
+fn catch_cell_panic<T>(f: impl FnOnce() -> T) -> Result<T, (String, String)> {
+    install_cell_panic_hook();
+    PANIC_ARMED.with(|a| a.set(true));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    PANIC_ARMED.with(|a| a.set(false));
+    match out {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            let message = message.replace(['\n', '\r'], " ");
+            let backtrace = CELL_PANIC.with(|c| c.borrow_mut().take()).unwrap_or_default();
+            Err((message, backtrace))
+        }
+    }
+}
+
+/// Live telemetry and cancellation surface of one running cell attempt,
+/// shared between the worker running the cell and the monitor thread.
+struct CellWatch {
+    dc: char,
+    planner: &'static str,
+    heartbeat: Arc<Heartbeat>,
+    /// Replay hours completed by this attempt so far.
+    hours: AtomicUsize,
+    started: Instant,
+    /// Watchdog verdict; the cell polls this at every hour boundary and
+    /// the chaos hang loop.
+    fired: AtomicBool,
+    /// Why the watchdog fired (written before `fired` is set).
+    reason: Mutex<Option<String>>,
+    /// True while the attempt is actually executing.
+    armed: AtomicBool,
+    /// Last journaled heartbeat watermark: (when, hours).
+    watermark: Mutex<(Instant, usize)>,
+}
+
+impl CellWatch {
+    fn new(dc: DataCenterId, kind: PlannerKind) -> Self {
+        Self {
+            dc: dc.letter(),
+            planner: kind.label(),
+            heartbeat: Arc::new(Heartbeat::new()),
+            hours: AtomicUsize::new(0),
+            started: Instant::now(),
+            fired: AtomicBool::new(false),
+            reason: Mutex::new(None),
+            armed: AtomicBool::new(true),
+            watermark: Mutex::new((Instant::now(), 0)),
+        }
+    }
+}
+
+/// How one supervised attempt ended, from the supervisor's viewpoint.
+enum CellRun {
+    /// Terminal outcome, already journaled.
+    Done(Box<CellReport>),
+    /// Checkpointed and yielded to cancellation / sibling abort.
+    Yielded,
+    /// Transient failure (watchdog stop); the last checkpoint is intact
+    /// and the cell is eligible for retry. Panics take the same path
+    /// via [`catch_cell_panic`].
+    Transient {
+        kind: &'static str,
+        message: String,
+        backtrace: String,
+    },
+}
+
+/// Mutable health-board entry for one cell (see [`crate::health`]).
+struct CellHealthState {
+    state: &'static str,
+    attempt: usize,
+    hours_done: usize,
+    incidents: Vec<String>,
+}
+
 /// Shared per-run executor state, borrowed by every worker thread.
 struct Executor<'a> {
     spec: &'a StudySpec,
+    opts: &'a RunOptions,
+    dir: &'a Path,
     journal: Mutex<Journal>,
-    ckpts: &'a BTreeMap<(char, &'static str), ReplayCheckpoint>,
     token: &'a CancelToken,
     /// Lazily prepared per-data-center studies, indexed as `spec.dcs`.
     /// `OnceLock` blocks racing workers until the first finishes the
-    /// (expensive) trace generation, so each DC is prepared exactly once.
+    /// (expensive) trace generation, so each DC is prepared exactly
+    /// once. A panic inside `get_or_init` leaves the lock uninitialised
+    /// (not poisoned), so a retry simply prepares again.
     studies: Vec<OnceLock<Study>>,
+    /// Latest known checkpoint per cell: seeded from the journal on
+    /// resume, updated as cells checkpoint, and the restart point for
+    /// retried attempts.
+    latest: Mutex<BTreeMap<(char, &'static str), ReplayCheckpoint>>,
     /// Next position in the pending list to claim.
     next: AtomicUsize,
     /// Set when any worker hits a supervisor-fatal error; others stop at
@@ -661,6 +1064,14 @@ struct Executor<'a> {
     interrupted: AtomicBool,
     fatal: Mutex<Option<SuperviseError>>,
     finished: Mutex<Vec<(usize, CellReport)>>,
+    /// One watch per attempt, newest last; the monitor sweeps these.
+    watches: Mutex<Vec<Arc<CellWatch>>>,
+    /// Health board keyed by cell, rendered to `health.json`.
+    health: Mutex<BTreeMap<(char, &'static str), CellHealthState>>,
+    /// One-shot chaos bookkeeping: set once the hook has fired.
+    chaos_fired: AtomicBool,
+    /// Tells the monitor thread to exit.
+    monitor_stop: AtomicBool,
 }
 
 impl Executor<'_> {
@@ -693,9 +1104,7 @@ impl Executor<'_> {
                 .iter()
                 .position(|d| *d == dc)
                 .expect("grid cell's DC is in the spec");
-            let study =
-                self.studies[di].get_or_init(|| Study::prepare(&self.spec.study_config(dc)));
-            match self.run_cell(dc, kind, study) {
+            match self.run_cell_supervised(dc, kind, di) {
                 Ok(Some(cell)) => self
                     .finished
                     .lock()
@@ -715,15 +1124,154 @@ impl Executor<'_> {
         }
     }
 
-    /// Runs one cell to a terminal outcome (`Some`) or checkpoints and
-    /// yields (`None`) on cancellation / sibling abort. Journal appends
-    /// take the lock per record and never hold it across replay work.
-    fn run_cell(
+    /// Runs one cell to a terminal outcome (`Some`) or yields (`None`)
+    /// on cancellation / sibling abort, retrying transient failures —
+    /// panics and watchdog stops — from the last journaled checkpoint
+    /// under the session's [`CellRetryPolicy`], and quarantining the
+    /// cell once attempts are exhausted.
+    fn run_cell_supervised(
+        &self,
+        dc: DataCenterId,
+        kind: PlannerKind,
+        di: usize,
+    ) -> Result<Option<CellReport>, SuperviseError> {
+        let max_attempts = self.opts.retry.max_attempts.max(1);
+        let mut incidents: Vec<String> = Vec::new();
+        let mut attempt = 1usize;
+        loop {
+            self.set_health(dc, kind, "running", attempt, None);
+            let watch = Arc::new(CellWatch::new(dc, kind));
+            self.watches
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(Arc::clone(&watch));
+            let caught = catch_cell_panic(|| {
+                let study =
+                    self.studies[di].get_or_init(|| Study::prepare(&self.spec.study_config(dc)));
+                self.run_attempt(dc, kind, study, &watch, attempt, attempt >= max_attempts)
+            });
+            watch.armed.store(false, Ordering::SeqCst);
+            let run = match caught {
+                Ok(r) => r?,
+                Err((message, backtrace)) => CellRun::Transient {
+                    kind: "panic",
+                    message,
+                    backtrace,
+                },
+            };
+            match run {
+                CellRun::Done(cell) => {
+                    let hours = cell.report.as_ref().map_or(0, |r| r.hours);
+                    self.set_health(dc, kind, cell.outcome.label(), attempt, Some(hours));
+                    return Ok(Some(*cell));
+                }
+                CellRun::Yielded => {
+                    self.set_health(dc, kind, "interrupted", attempt, None);
+                    return Ok(None);
+                }
+                CellRun::Transient {
+                    kind: incident_kind,
+                    message,
+                    backtrace,
+                } => {
+                    append_cell_crashed(
+                        &mut self.journal(),
+                        dc,
+                        kind,
+                        attempt,
+                        incident_kind,
+                        &message,
+                        &backtrace,
+                    )?;
+                    let incident = format!("attempt {attempt}: {incident_kind}: {message}");
+                    incidents.push(incident.clone());
+                    self.push_incident(dc, kind, incident);
+                    if attempt >= max_attempts {
+                        let cell = CellReport {
+                            dc,
+                            kind,
+                            outcome: CellOutcome::Quarantined {
+                                attempts: attempt,
+                                incidents: incidents.clone(),
+                            },
+                            report: None,
+                            cost: None,
+                        };
+                        append_cell_done(&mut self.journal(), &cell)?;
+                        self.set_health(dc, kind, "quarantined", attempt, None);
+                        return Ok(Some(cell));
+                    }
+                    let next = attempt + 1;
+                    append_cell_retried(&mut self.journal(), dc, kind, next)?;
+                    self.set_health(dc, kind, "backoff", attempt, None);
+                    let delay =
+                        self.opts
+                            .retry
+                            .backoff_secs(self.spec.seed, dc.letter(), kind.label(), next);
+                    if !self.backoff(delay) {
+                        if self.token.is_cancelled() {
+                            self.interrupted.store(true, Ordering::SeqCst);
+                        }
+                        self.set_health(dc, kind, "interrupted", attempt, None);
+                        return Ok(None);
+                    }
+                    attempt = next;
+                }
+            }
+        }
+    }
+
+    /// Sleeps `secs` in small slices so cancellation stays responsive;
+    /// `false` means the wait was cut short by the token or an abort.
+    fn backoff(&self, secs: f64) -> bool {
+        let secs = if secs.is_finite() { secs.max(0.0) } else { 0.0 };
+        let deadline = Instant::now() + Duration::from_secs_f64(secs);
+        while Instant::now() < deadline {
+            if self.token.is_cancelled() || self.abort.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    fn latest_ckpt(&self, dc: DataCenterId, kind: PlannerKind) -> Option<ReplayCheckpoint> {
+        self.latest
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(dc.letter(), kind.label()))
+            .cloned()
+    }
+
+    fn remember_ckpt(&self, dc: DataCenterId, kind: PlannerKind, ck: ReplayCheckpoint) {
+        self.latest
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert((dc.letter(), kind.label()), ck);
+    }
+
+    /// Whether the chaos hook should fire now (consumes the one-shot).
+    fn chaos_take(&self, chaos: &ChaosConfig) -> bool {
+        if chaos.one_shot {
+            !self.chaos_fired.swap(true, Ordering::SeqCst)
+        } else {
+            true
+        }
+    }
+
+    /// Runs one attempt of one cell. Journal appends take the lock per
+    /// record and never hold it across replay work. On a watchdog stop
+    /// with retries left, checkpoints and reports `Transient`; on the
+    /// final attempt the cell degrades with its partial report instead.
+    fn run_attempt(
         &self,
         dc: DataCenterId,
         kind: PlannerKind,
         study: &Study,
-    ) -> Result<Option<CellReport>, SuperviseError> {
+        watch: &CellWatch,
+        attempt: usize,
+        final_attempt: bool,
+    ) -> Result<CellRun, SuperviseError> {
         let spec = self.spec;
         let abort_cell = |error: String| CellReport {
             dc,
@@ -738,12 +1286,22 @@ impl Executor<'_> {
             Err(e) => {
                 let cell = abort_cell(e.to_string());
                 append_cell_done(&mut self.journal(), &cell)?;
-                return Ok(Some(cell));
+                return Ok(CellRun::Done(Box::new(cell)));
             }
         };
         let n_hosts = plan.dc.len();
         let mut scratch = CheckScratch::default();
-        let mut prev_ckpt = self.ckpts.get(&(dc.letter(), kind.label())).cloned();
+        let mut prev_ckpt = self.latest_ckpt(dc, kind);
+        if attempt > 1 {
+            // The previous attempt died uncleanly; re-validate the
+            // restart point before trusting it.
+            if let Some(ck) = prev_ckpt.as_ref() {
+                if let Err(violation) = check_retry_checkpoint(ck, n_hosts) {
+                    let record = self.journal().records().len();
+                    return Err(SuperviseError::Invariant { violation, record });
+                }
+            }
+        }
         let mut replay = match prev_ckpt.as_ref() {
             Some(ck) => Replay::resume(
                 study.input(),
@@ -753,8 +1311,11 @@ impl Executor<'_> {
                 ck,
             )?,
             None => {
-                self.journal()
-                    .append(format!("cell-start {} {}", dc.letter(), kind.label()).as_bytes())?;
+                if attempt == 1 {
+                    self.journal().append(
+                        format!("cell-start {} {}", dc.letter(), kind.label()).as_bytes(),
+                    )?;
+                }
                 match Replay::new(
                     study.input(),
                     &plan,
@@ -765,21 +1326,50 @@ impl Executor<'_> {
                     Err(e) => {
                         let cell = abort_cell(e.to_string());
                         append_cell_done(&mut self.journal(), &cell)?;
-                        return Ok(Some(cell));
+                        return Ok(CellRun::Done(Box::new(cell)));
                     }
                 }
             }
         };
+        replay.set_heartbeat(Arc::clone(&watch.heartbeat));
+        watch.hours.store(replay.hour(), Ordering::SeqCst);
+        watch.heartbeat.beat();
+        let chaos = self.opts.chaos.as_ref().filter(|c| c.matches(dc, kind));
 
         let cell_started = Instant::now();
         let outcome = loop {
             if self.token.is_cancelled() || self.abort.load(Ordering::SeqCst) {
                 let ck = replay.checkpoint();
                 append_checkpoint(&mut self.journal(), dc, kind, &ck)?;
+                self.remember_ckpt(dc, kind, ck);
                 if self.token.is_cancelled() {
                     self.interrupted.store(true, Ordering::SeqCst);
                 }
-                return Ok(None);
+                return Ok(CellRun::Yielded);
+            }
+            if watch.fired.load(Ordering::SeqCst) {
+                let reason = watch
+                    .reason
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .unwrap_or_else(|| "watchdog fired".to_owned());
+                if final_attempt {
+                    // No retries left: keep the partial work as a
+                    // degraded cell instead of quarantining silence.
+                    break CellOutcome::Degraded {
+                        reason,
+                        hours_done: replay.hour(),
+                    };
+                }
+                let ck = replay.checkpoint();
+                append_checkpoint(&mut self.journal(), dc, kind, &ck)?;
+                self.remember_ckpt(dc, kind, ck);
+                return Ok(CellRun::Transient {
+                    kind: "watchdog",
+                    message: reason,
+                    backtrace: String::new(),
+                });
             }
             if replay.is_done() {
                 break CellOutcome::Completed;
@@ -801,12 +1391,39 @@ impl Executor<'_> {
                     };
                 }
             }
+            if let Some(c) = chaos {
+                if replay.hour() == c.hour && self.chaos_take(c) {
+                    match c.mode {
+                        ChaosMode::Panic => panic!(
+                            "chaos: injected panic in cell {}/{} before hour {}",
+                            dc.letter(),
+                            kind.label(),
+                            c.hour
+                        ),
+                        ChaosMode::Hang => {
+                            // Go silent until the watchdog (or a
+                            // cancellation) notices; bounded so a
+                            // watchdog-less run cannot wedge forever.
+                            let hung = Instant::now();
+                            while !watch.fired.load(Ordering::SeqCst)
+                                && !self.token.is_cancelled()
+                                && !self.abort.load(Ordering::SeqCst)
+                                && hung.elapsed() < Duration::from_secs(30)
+                            {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
             if let Err(e) = replay.step() {
                 break CellOutcome::Aborted {
                     error: e.to_string(),
                 };
             }
             self.token.note_hour();
+            watch.hours.store(replay.hour(), Ordering::SeqCst);
             if replay.hour() % spec.checkpoint_every_hours == 0 || replay.is_done() {
                 let ck = replay.checkpoint();
                 if let Err(violation) =
@@ -816,6 +1433,7 @@ impl Executor<'_> {
                     return Err(SuperviseError::Invariant { violation, record });
                 }
                 append_checkpoint(&mut self.journal(), dc, kind, &ck)?;
+                self.remember_ckpt(dc, kind, ck.clone());
                 prev_ckpt = Some(ck);
             }
         };
@@ -835,7 +1453,184 @@ impl Executor<'_> {
             }
         };
         append_cell_done(&mut self.journal(), &cell)?;
-        Ok(Some(cell))
+        Ok(CellRun::Done(Box::new(cell)))
+    }
+
+    fn set_health(
+        &self,
+        dc: DataCenterId,
+        kind: PlannerKind,
+        state: &'static str,
+        attempt: usize,
+        hours_done: Option<usize>,
+    ) {
+        let mut health = self
+            .health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = health
+            .entry((dc.letter(), kind.label()))
+            .or_insert_with(|| CellHealthState {
+                state: "pending",
+                attempt: 0,
+                hours_done: 0,
+                incidents: Vec::new(),
+            });
+        entry.state = state;
+        entry.attempt = attempt;
+        if let Some(hours) = hours_done {
+            entry.hours_done = hours;
+        }
+    }
+
+    fn push_incident(&self, dc: DataCenterId, kind: PlannerKind, incident: String) {
+        let mut health = self
+            .health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = health.get_mut(&(dc.letter(), kind.label())) {
+            entry.incidents.push(incident);
+        }
+    }
+
+    /// Composes the health board and live watch telemetry into one
+    /// snapshot, grid order.
+    fn health_snapshot(&self, status: &str) -> HealthSnapshot {
+        let hours_total = self.spec.eval_days * 24;
+        let watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let health = self
+            .health
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut cells = Vec::new();
+        for &dc in &self.spec.dcs {
+            for &kind in &self.spec.planners {
+                let key = (dc.letter(), kind.label());
+                let (state, attempt, mut hours_done, incidents) = match health.get(&key) {
+                    Some(h) => (h.state, h.attempt, h.hours_done, h.incidents.clone()),
+                    None => ("pending", 0, 0, Vec::new()),
+                };
+                let mut steps = 0;
+                let mut beat_age_secs = 0.0;
+                let mut steps_per_sec = 0.0;
+                if let Some(w) = watches
+                    .iter()
+                    .rev()
+                    .find(|w| w.dc == key.0 && w.planner == key.1)
+                {
+                    steps = w.heartbeat.steps();
+                    beat_age_secs = w.heartbeat.secs_since_last_beat();
+                    let elapsed = w.started.elapsed().as_secs_f64();
+                    if elapsed > 0.0 {
+                        steps_per_sec = steps as f64 / elapsed;
+                    }
+                    if state == "running" {
+                        hours_done = w.hours.load(Ordering::SeqCst);
+                    }
+                }
+                cells.push(CellHealth {
+                    cell: format!("{}/{}", key.0, key.1),
+                    state: state.to_owned(),
+                    attempt,
+                    hours_done,
+                    hours_total,
+                    steps,
+                    beat_age_secs,
+                    steps_per_sec,
+                    incidents,
+                });
+            }
+        }
+        HealthSnapshot {
+            status: status.to_owned(),
+            cells,
+        }
+    }
+
+    /// Atomically (re)writes `health.json`. Telemetry is best-effort by
+    /// design: a failed write never fails the study.
+    fn write_health(&self, status: &str) {
+        let snapshot = self.health_snapshot(status);
+        let _ = write_atomic(&self.dir.join(HEALTH_FILE), snapshot.to_json().as_bytes());
+    }
+
+    /// Monitor loop: watchdog sweep, heartbeat watermarks, periodic
+    /// `health.json` rewrites. Exits when `monitor_stop` is set.
+    fn monitor(&self) {
+        let mut last_health = Instant::now();
+        loop {
+            if self.monitor_stop.load(Ordering::SeqCst) {
+                return;
+            }
+            self.sweep_watchdog();
+            self.journal_watermarks();
+            if last_health.elapsed() >= Duration::from_millis(500) {
+                let status = if self.token.is_cancelled() {
+                    "interrupted"
+                } else {
+                    "running"
+                };
+                self.write_health(status);
+                last_health = Instant::now();
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Fires the cooperative watchdog on any armed cell whose heartbeat
+    /// is older than the session deadline.
+    fn sweep_watchdog(&self) {
+        let Some(timeout) = self.opts.heartbeat_timeout_secs else {
+            return;
+        };
+        let watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for w in watches.iter() {
+            if !w.armed.load(Ordering::SeqCst) || w.fired.load(Ordering::SeqCst) {
+                continue;
+            }
+            let age = w.heartbeat.secs_since_last_beat();
+            if age > timeout {
+                *w.reason
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(format!(
+                    "watchdog: no heartbeat for {age:.1}s (timeout {timeout}s)"
+                ));
+                w.fired.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Journals a `heartbeat` progress watermark (at most one per cell
+    /// per ~2s, only when hours advanced) so a post-mortem can tell how
+    /// far a dead cell actually got between checkpoints. Best-effort.
+    fn journal_watermarks(&self) {
+        let watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for w in watches.iter() {
+            if !w.armed.load(Ordering::SeqCst) {
+                continue;
+            }
+            let hours = w.hours.load(Ordering::SeqCst);
+            let mut wm = w
+                .watermark
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if wm.0.elapsed() >= Duration::from_secs(2) && hours > wm.1 {
+                *wm = (Instant::now(), hours);
+                drop(wm);
+                let _ = self
+                    .journal()
+                    .append(format!("heartbeat {} {} {hours}", w.dc, w.planner).as_bytes());
+            }
+        }
     }
 }
 
@@ -849,7 +1644,7 @@ fn drive(
     tail_dropped: Option<TailCorruption>,
     dir: &Path,
     token: &CancelToken,
-    jobs: usize,
+    opts: &RunOptions,
 ) -> Result<StudyReport, SuperviseError> {
     // The grid in output order (data center major, planner minor); done
     // cells slot straight in, the rest are claimed by workers.
@@ -864,7 +1659,7 @@ fn drive(
         .collect();
     let mut pending: Vec<usize> = (0..grid.len()).filter(|&i| slots[i].is_none()).collect();
 
-    let workers = jobs.max(1).min(pending.len().max(1));
+    let workers = opts.jobs.max(1).min(pending.len().max(1));
     if workers > 1 {
         // Claim planner-major so concurrent workers start on *different*
         // data centers and their `Study::prepare` calls overlap instead
@@ -876,24 +1671,58 @@ fn drive(
 
     let exec = Executor {
         spec: &spec,
+        opts,
+        dir,
         journal: Mutex::new(journal),
-        ckpts: &ckpts,
         token,
         studies: spec.dcs.iter().map(|_| OnceLock::new()).collect(),
+        latest: Mutex::new(ckpts),
         next: AtomicUsize::new(0),
         abort: AtomicBool::new(false),
         interrupted: AtomicBool::new(false),
         fatal: Mutex::new(None),
         finished: Mutex::new(Vec::new()),
+        watches: Mutex::new(Vec::new()),
+        health: Mutex::new(BTreeMap::new()),
+        chaos_fired: AtomicBool::new(false),
+        monitor_stop: AtomicBool::new(false),
     };
+
+    // Seed the health board with terminal outcomes restored from the
+    // journal, so a resumed run's health.json covers the whole grid.
+    for cell in slots.iter().flatten() {
+        let attempt = match &cell.outcome {
+            CellOutcome::Quarantined { attempts, .. } => *attempts,
+            _ => 1,
+        };
+        let hours = cell.report.as_ref().map_or(0, |r| r.hours);
+        exec.set_health(cell.dc, cell.kind, cell.outcome.label(), attempt, Some(hours));
+    }
+    exec.write_health(if pending.is_empty() { "completed" } else { "running" });
 
     if !pending.is_empty() {
         if token.is_cancelled() {
             exec.interrupted.store(true, Ordering::SeqCst);
         } else {
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| exec.work(&grid, &pending));
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| s.spawn(|| exec.work(&grid, &pending)))
+                    .collect();
+                let monitor = s.spawn(|| exec.monitor());
+                let mut worker_panic = None;
+                for h in handles {
+                    if let Err(p) = h.join() {
+                        worker_panic = Some(p);
+                    }
+                }
+                exec.monitor_stop.store(true, Ordering::SeqCst);
+                if let Err(p) = monitor.join() {
+                    worker_panic = Some(p);
+                }
+                // Cell panics are caught inside the workers; anything
+                // arriving here is a supervisor bug and must surface.
+                if let Some(p) = worker_panic {
+                    std::panic::resume_unwind(p);
                 }
             });
         }
@@ -905,6 +1734,7 @@ fn drive(
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .take()
     {
+        exec.write_health("failed");
         return Err(e);
     }
     for (idx, cell) in exec
@@ -926,6 +1756,7 @@ fn drive(
         if !run_done {
             exec.journal().append(b"run-done")?;
         }
+        exec.write_health("completed");
         let report = StudyReport {
             spec,
             status,
@@ -935,6 +1766,7 @@ fn drive(
         write_outputs(dir, &report)?;
         return Ok(report);
     }
+    exec.write_health("interrupted");
     Ok(StudyReport {
         spec,
         status,
@@ -974,14 +1806,69 @@ fn append_cell_done(journal: &mut Journal, cell: &CellReport) -> Result<(), Supe
             cell.dc.letter(),
             cell.kind.label()
         ),
+        CellOutcome::Crashed { message, .. } => format!(
+            "cell-done {} {} crashed {message}",
+            cell.dc.letter(),
+            cell.kind.label()
+        ),
+        CellOutcome::Quarantined { attempts, .. } => format!(
+            "cell-done {} {} quarantined {attempts}",
+            cell.dc.letter(),
+            cell.kind.label()
+        ),
     };
-    let payload = match (&cell.cost, &cell.report) {
-        (Some(cost), Some(report)) => {
-            format!("{head}\n{}\n{}", encode_cost(cost), encode_report(report))
+    let payload = match &cell.outcome {
+        CellOutcome::Quarantined { incidents, .. } if !incidents.is_empty() => {
+            format!("{head}\n{}", incidents.join("\n"))
         }
-        _ => head,
+        CellOutcome::Crashed { backtrace, .. } if !backtrace.is_empty() => {
+            format!("{head}\n{backtrace}")
+        }
+        _ => match (&cell.cost, &cell.report) {
+            (Some(cost), Some(report)) => {
+                format!("{head}\n{}\n{}", encode_cost(cost), encode_report(report))
+            }
+            _ => head,
+        },
     };
     journal.append(payload.as_bytes())?;
+    Ok(())
+}
+
+/// Journals a `cell-crashed` incident: head carries the attempt number,
+/// incident kind (`panic` | `watchdog`) and single-line message, the
+/// body the backtrace.
+fn append_cell_crashed(
+    journal: &mut Journal,
+    dc: DataCenterId,
+    kind: PlannerKind,
+    attempt: usize,
+    incident_kind: &str,
+    message: &str,
+    backtrace: &str,
+) -> Result<(), SuperviseError> {
+    let head = format!(
+        "cell-crashed {} {} {attempt} {incident_kind} {message}",
+        dc.letter(),
+        kind.label()
+    );
+    let payload = if backtrace.is_empty() {
+        head
+    } else {
+        format!("{head}\n{backtrace}")
+    };
+    journal.append(payload.as_bytes())?;
+    Ok(())
+}
+
+/// Journals the decision to re-run a cell as `attempt`.
+fn append_cell_retried(
+    journal: &mut Journal,
+    dc: DataCenterId,
+    kind: PlannerKind,
+    attempt: usize,
+) -> Result<(), SuperviseError> {
+    journal.append(format!("cell-retried {} {} {attempt}", dc.letter(), kind.label()).as_bytes())?;
     Ok(())
 }
 
@@ -1281,5 +2168,217 @@ mod tests {
         assert!(!t.is_cancelled());
         t.note_hour();
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn chaos_cell_ids_parse_and_reject() {
+        let c = ChaosConfig::for_cell("B/Dynamic", 3, ChaosMode::Panic, true).unwrap();
+        assert_eq!((c.dc, c.planner.as_str(), c.hour), ('B', "Dynamic", 3));
+        assert!(c.one_shot);
+        // Case-insensitive letter, whitespace tolerated.
+        assert!(ChaosConfig::for_cell(" a / Semi-Static ", 0, ChaosMode::Hang, false).is_some());
+        for bad in ["", "Dynamic", "Z/Dynamic", "A/NoSuchPlanner", "A/"] {
+            assert!(
+                ChaosConfig::for_cell(bad, 0, ChaosMode::Panic, false).is_none(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let p = CellRetryPolicy::default_policy();
+        let a = p.backoff_secs(5, 'B', "Dynamic", 2);
+        assert_eq!(a, p.backoff_secs(5, 'B', "Dynamic", 2), "same key, same wait");
+        // Jitter stays within [0.5, 1.5) of the base.
+        assert!(a >= p.base_backoff_secs * 0.5 && a < p.base_backoff_secs * 1.5);
+        // Distinct cells de-synchronise.
+        assert_ne!(a, p.backoff_secs(5, 'A', "Dynamic", 2));
+        // Later attempts wait longer on average (factor 2 beats jitter's
+        // worst case 1.5/0.5 only after two doublings, so compare 2 vs 4).
+        assert!(p.backoff_secs(5, 'B', "Dynamic", 4) > a);
+    }
+
+    /// A cell whose every attempt panics is quarantined with its
+    /// incident log; its sibling completes untouched; the journal holds
+    /// the crash/retry records and resumes idempotently.
+    #[test]
+    fn panicking_cell_quarantines_and_spares_siblings() {
+        let dir = tmp_dir("quarantine");
+        let opts = RunOptions {
+            retry: CellRetryPolicy {
+                max_attempts: 2,
+                base_backoff_secs: 0.01,
+                backoff_factor: 2.0,
+            },
+            chaos: ChaosConfig::for_cell("B/Dynamic", 2, ChaosMode::Panic, false),
+            ..RunOptions::default()
+        };
+        let report = run_study_opts(&tiny_spec(), &dir, &CancelToken::new(), &opts).unwrap();
+        assert_eq!(report.status, StudyStatus::Completed);
+        assert_eq!(report.cells.len(), 2);
+        let semi = &report.cells[0];
+        assert_eq!(semi.kind, PlannerKind::SemiStatic);
+        assert_eq!(semi.outcome, CellOutcome::Completed, "sibling must be spared");
+        let dynamic = &report.cells[1];
+        match &dynamic.outcome {
+            CellOutcome::Quarantined {
+                attempts,
+                incidents,
+            } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(incidents.len(), 2);
+                assert!(incidents[0].starts_with("attempt 1: panic:"), "{incidents:?}");
+                assert!(incidents[1].contains("chaos: injected panic"), "{incidents:?}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(dynamic.report.is_none());
+
+        // The journal narrates the incident.
+        let (journal, tail) = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        assert!(tail.is_none());
+        let texts: Vec<String> = journal
+            .records()
+            .iter()
+            .map(|r| String::from_utf8_lossy(r).into_owned())
+            .collect();
+        assert_eq!(
+            texts.iter().filter(|t| t.starts_with("cell-crashed B Dynamic")).count(),
+            2
+        );
+        assert!(texts.iter().any(|t| t.starts_with("cell-retried B Dynamic 2")));
+        assert!(texts.iter().any(|t| t.starts_with("cell-done B Dynamic quarantined 2")));
+
+        // Health telemetry reflects the quarantine.
+        let health_text = std::fs::read_to_string(dir.join(HEALTH_FILE)).unwrap();
+        let health = HealthSnapshot::parse(&health_text).unwrap();
+        assert_eq!(health.status, "completed");
+        let cell = health.cells.iter().find(|c| c.cell == "B/Dynamic").unwrap();
+        assert_eq!(cell.state, "quarantined");
+        assert_eq!(cell.attempt, 2);
+        assert_eq!(cell.incidents.len(), 2);
+
+        // STUDY.md carries the failure matrix.
+        let md = std::fs::read_to_string(dir.join("STUDY.md")).unwrap();
+        assert!(md.contains("## Failure matrix"), "{md}");
+
+        // Resuming the quarantined study is idempotent.
+        let again = resume_study(&dir, None, &CancelToken::new()).unwrap();
+        assert_eq!(again.status, StudyStatus::Completed);
+        assert_eq!(again.cells[1].outcome, dynamic.outcome);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One transient panic heals through retry: the final outputs are
+    /// byte-identical to a run that never crashed.
+    #[test]
+    fn one_shot_panic_heals_byte_identically() {
+        let clean_dir = tmp_dir("heal-clean");
+        let spec = tiny_spec();
+        let clean = run_study(&spec, &clean_dir, &CancelToken::new()).unwrap();
+
+        let chaos_dir = tmp_dir("heal-chaos");
+        let opts = RunOptions {
+            retry: CellRetryPolicy {
+                max_attempts: 3,
+                base_backoff_secs: 0.01,
+                backoff_factor: 2.0,
+            },
+            chaos: ChaosConfig::for_cell("B/Dynamic", 7, ChaosMode::Panic, true),
+            ..RunOptions::default()
+        };
+        let healed = run_study_opts(&spec, &chaos_dir, &CancelToken::new(), &opts).unwrap();
+        assert_eq!(healed.status, StudyStatus::Completed);
+        for (a, b) in clean.cells.iter().zip(&healed.cells) {
+            assert_eq!(a.outcome, CellOutcome::Completed);
+            assert_eq!(b.outcome, CellOutcome::Completed, "healed run must complete");
+            assert_eq!(
+                encode_report(a.report.as_ref().unwrap()),
+                encode_report(b.report.as_ref().unwrap()),
+                "cell {}/{} diverged after a healed crash",
+                a.dc.letter(),
+                a.kind.label()
+            );
+        }
+        for file in ["cells.csv", "STUDY.md"] {
+            assert_eq!(
+                std::fs::read(clean_dir.join(file)).unwrap(),
+                std::fs::read(chaos_dir.join(file)).unwrap(),
+                "{file} differs between clean and healed runs"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&chaos_dir);
+    }
+
+    /// A hang is detected by the watchdog, retried, and heals to a
+    /// byte-identical result; a *persistent* hang degrades with the
+    /// partial report instead of wedging or quarantining silence.
+    #[test]
+    fn watchdog_turns_hangs_into_retries_or_degraded() {
+        let clean_dir = tmp_dir("hang-clean");
+        let spec = tiny_spec();
+        let clean = run_study(&spec, &clean_dir, &CancelToken::new()).unwrap();
+
+        // One-shot hang: watchdog fires, the retry heals the cell.
+        let healed_dir = tmp_dir("hang-healed");
+        let opts = RunOptions {
+            retry: CellRetryPolicy {
+                max_attempts: 2,
+                base_backoff_secs: 0.01,
+                backoff_factor: 2.0,
+            },
+            heartbeat_timeout_secs: Some(1.5),
+            chaos: ChaosConfig::for_cell("B/Dynamic", 2, ChaosMode::Hang, true),
+            ..RunOptions::default()
+        };
+        let healed = run_study_opts(&spec, &healed_dir, &CancelToken::new(), &opts).unwrap();
+        assert_eq!(healed.status, StudyStatus::Completed);
+        for (a, b) in clean.cells.iter().zip(&healed.cells) {
+            assert_eq!(b.outcome, CellOutcome::Completed, "{:?}", b.outcome);
+            assert_eq!(
+                encode_report(a.report.as_ref().unwrap()),
+                encode_report(b.report.as_ref().unwrap())
+            );
+        }
+        assert_eq!(
+            std::fs::read(clean_dir.join("cells.csv")).unwrap(),
+            std::fs::read(healed_dir.join("cells.csv")).unwrap()
+        );
+        let (journal, _) = Journal::open(&healed_dir.join(JOURNAL_FILE)).unwrap();
+        assert!(
+            journal.records().iter().any(|r| {
+                std::str::from_utf8(r).is_ok_and(|t| {
+                    t.starts_with("cell-crashed B Dynamic 1 watchdog")
+                })
+            }),
+            "watchdog stop must be journaled as a crash incident"
+        );
+
+        // Persistent hang: the final attempt keeps the completed prefix.
+        let degraded_dir = tmp_dir("hang-degraded");
+        let opts = RunOptions {
+            chaos: ChaosConfig::for_cell("B/Dynamic", 2, ChaosMode::Hang, false),
+            ..opts
+        };
+        let report = run_study_opts(&spec, &degraded_dir, &CancelToken::new(), &opts).unwrap();
+        assert_eq!(report.status, StudyStatus::Completed);
+        let dynamic = &report.cells[1];
+        match &dynamic.outcome {
+            CellOutcome::Degraded { reason, hours_done } => {
+                assert!(reason.contains("watchdog"), "{reason}");
+                assert_eq!(*hours_done, 2);
+            }
+            other => panic!("expected watchdog degradation, got {other:?}"),
+        }
+        assert_eq!(
+            dynamic.report.as_ref().unwrap().hours,
+            2,
+            "partial report covers the completed prefix"
+        );
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&healed_dir);
+        let _ = std::fs::remove_dir_all(&degraded_dir);
     }
 }

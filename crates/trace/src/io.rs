@@ -22,7 +22,17 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Hard cap on per-server trace hours accepted from an external CSV
+/// (five leap years of hourly samples — far beyond any study horizon).
+pub const MAX_TRACE_HOURS: usize = 24 * 366 * 5;
+
+/// Hard cap on distinct servers accepted from an external CSV.
+pub const MAX_TRACE_SERVERS: usize = 100_000;
+
+/// Hard cap on total data rows accepted from an external CSV.
+pub const MAX_TRACE_ROWS: usize = 10_000_000;
 
 /// Errors produced when parsing a trace CSV.
 #[derive(Debug)]
@@ -33,6 +43,24 @@ pub enum TraceIoError {
     Parse(usize, String),
     /// Structural problem after parsing (e.g. ragged hour ranges).
     Structure(String),
+    /// The input exceeds a hard resource cap. Untrusted CSVs are sized
+    /// before they are buffered, so a hostile or corrupt file fails with
+    /// a typed error instead of exhausting memory.
+    TooLarge {
+        /// Which dimension blew the cap (`hours`, `servers`, `rows`).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+    /// A failure reading a specific file, carrying its path.
+    File {
+        /// The file being read.
+        path: PathBuf,
+        /// What went wrong.
+        source: Box<TraceIoError>,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -41,6 +69,13 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "trace I/O failed: {e}"),
             TraceIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
             TraceIoError::Structure(msg) => write!(f, "inconsistent trace: {msg}"),
+            TraceIoError::TooLarge { what, value, cap } => write!(
+                f,
+                "trace too large: {what} {value} exceeds the hard cap of {cap}"
+            ),
+            TraceIoError::File { path, source } => {
+                write!(f, "failed to read {}: {source}", path.display())
+            }
         }
     }
 }
@@ -49,6 +84,7 @@ impl Error for TraceIoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
+            TraceIoError::File { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -103,8 +139,9 @@ pub fn write_csv<W: Write>(workload: &GeneratedWorkload, writer: W) -> io::Resul
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] for I/O failures, malformed rows, or ragged
-/// per-server hour ranges.
+/// Returns [`TraceIoError`] for I/O failures, malformed rows, ragged
+/// per-server hour ranges, or inputs exceeding the [`MAX_TRACE_HOURS`] /
+/// [`MAX_TRACE_SERVERS`] / [`MAX_TRACE_ROWS`] hard caps.
 pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkload, TraceIoError> {
     struct Partial {
         class: WorkloadClass,
@@ -115,6 +152,7 @@ pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkloa
         mem: Vec<(usize, f64)>,
     }
     let mut servers: BTreeMap<String, Partial> = BTreeMap::new();
+    let mut rows = 0usize;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
         let lineno = idx + 1;
@@ -129,6 +167,14 @@ pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkloa
         }
         if line.trim().is_empty() {
             continue;
+        }
+        rows += 1;
+        if rows > MAX_TRACE_ROWS {
+            return Err(TraceIoError::TooLarge {
+                what: "rows",
+                value: rows,
+                cap: MAX_TRACE_ROWS,
+            });
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 8 {
@@ -184,16 +230,31 @@ pub fn read_csv<R: Read>(dc: DataCenterId, reader: R) -> Result<GeneratedWorkloa
                 format!("cpu fraction {cpu} outside 0..=1"),
             ));
         }
-        let entry = servers
-            .entry(fields[0].trim().to_owned())
-            .or_insert_with(|| Partial {
-                class,
-                cpu_capacity_rpe2: cpu_capacity,
-                mem_capacity_mb: mem_capacity,
-                net_peak_mbps: net_peak,
-                cpu: Vec::new(),
-                mem: Vec::new(),
+        // Size checks before buffering: the hour bound caps what any one
+        // server can allocate, the server bound caps the map itself.
+        if hour >= MAX_TRACE_HOURS {
+            return Err(TraceIoError::TooLarge {
+                what: "hours",
+                value: hour.saturating_add(1),
+                cap: MAX_TRACE_HOURS,
             });
+        }
+        let name = fields[0].trim();
+        if !servers.contains_key(name) && servers.len() >= MAX_TRACE_SERVERS {
+            return Err(TraceIoError::TooLarge {
+                what: "servers",
+                value: servers.len() + 1,
+                cap: MAX_TRACE_SERVERS,
+            });
+        }
+        let entry = servers.entry(name.to_owned()).or_insert_with(|| Partial {
+            class,
+            cpu_capacity_rpe2: cpu_capacity,
+            mem_capacity_mb: mem_capacity,
+            net_peak_mbps: net_peak,
+            cpu: Vec::new(),
+            mem: Vec::new(),
+        });
         entry.cpu.push((hour, cpu));
         entry.mem.push((hour, mem));
     }
@@ -280,9 +341,16 @@ pub fn save(workload: &GeneratedWorkload, path: &Path) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// See [`read_csv`].
+/// See [`read_csv`]; every error is wrapped in
+/// [`TraceIoError::File`] so it names the offending path end-to-end
+/// (`failed to read <path>: <cause>`).
 pub fn load(dc: DataCenterId, path: &Path) -> Result<GeneratedWorkload, TraceIoError> {
-    read_csv(dc, std::fs::File::open(path)?)
+    let wrap = |source: TraceIoError| TraceIoError::File {
+        path: path.to_path_buf(),
+        source: Box::new(source),
+    };
+    let file = std::fs::File::open(path).map_err(|e| wrap(TraceIoError::Io(e)))?;
+    read_csv(dc, file).map_err(wrap)
 }
 
 #[cfg(test)]
@@ -395,5 +463,36 @@ mod tests {
         assert!(err.to_string().contains("line 7"));
         let err = TraceIoError::Structure("ragged".into());
         assert!(err.to_string().contains("inconsistent"));
+        let err = TraceIoError::TooLarge {
+            what: "hours",
+            value: 99,
+            cap: 10,
+        };
+        assert!(err.to_string().contains("hard cap"), "{err}");
+    }
+
+    #[test]
+    fn absurd_hour_indices_are_capped() {
+        let csv = format!("{HEADER}\na,web,1000,4096,50,{},0.1,100\n", usize::MAX);
+        let err = read_csv(DataCenterId::Banking, csv.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::TooLarge { what: "hours", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn load_errors_carry_the_file_path() {
+        let path = std::env::temp_dir().join("vmcw-no-such-trace.csv");
+        let err = load(DataCenterId::Banking, &path).unwrap_err();
+        match &err {
+            TraceIoError::File { path: p, source } => {
+                assert_eq!(p, &path);
+                assert!(matches!(**source, TraceIoError::Io(_)));
+            }
+            other => panic!("expected File error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("vmcw-no-such-trace.csv"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

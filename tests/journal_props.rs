@@ -5,8 +5,16 @@
 //! checksum, reported with the byte offset of the first bad frame, and
 //! never handed back as a record.
 
+use std::path::PathBuf;
+
 use proptest::prelude::*;
-use vmcw_repro::core::journal::{crc32, decode, encode_records, MAGIC};
+use vmcw_repro::consolidation::planner::PlannerKind;
+use vmcw_repro::core::journal::{crc32, decode, encode_records, Journal, MAGIC};
+use vmcw_repro::core::supervise::{
+    resume_study_opts, run_study_opts, CancelToken, CellOutcome, CellRetryPolicy, ChaosConfig,
+    ChaosMode, RunOptions, StudySpec, StudyStatus, JOURNAL_FILE,
+};
+use vmcw_repro::trace::datacenters::DataCenterId;
 
 /// Random record payloads: 0–12 records of 0–64 arbitrary bytes.
 fn records_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
@@ -110,5 +118,83 @@ proptest! {
         let mut mutated = payload.clone();
         mutated[pos] = mutated[pos].wrapping_add(delta);
         prop_assert_ne!(crc32(&payload), crc32(&mutated));
+    }
+}
+
+fn chaos_tmp_dir(tag: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vmcw-journal-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    // Each case runs two small studies end to end, so keep the sample
+    // count low; the panic hour is the only dimension that matters.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// DESIGN (self-healing supervisor): a cell panicking at an
+    /// *arbitrary* replay hour never corrupts the journal. The file
+    /// must reopen with zero torn frames, the crash must land in the
+    /// record stream as an incident (not as garbage bytes), and a
+    /// resume over that journal must succeed and change nothing.
+    #[test]
+    fn panic_at_any_hour_leaves_a_parseable_resumable_journal(panic_hour in 0usize..24) {
+        let spec = StudySpec {
+            dcs: vec![DataCenterId::Airlines],
+            planners: vec![PlannerKind::SemiStatic, PlannerKind::Dynamic],
+            ..StudySpec::new(0.02, 5, 5, 1)
+        };
+        let dir = chaos_tmp_dir(panic_hour);
+        // Persistent panic with no retries: the cell quarantines on its
+        // first attempt while the sibling completes. Airlines is
+        // data-center letter B.
+        let opts = RunOptions {
+            retry: CellRetryPolicy::no_retry(),
+            chaos: Some(
+                ChaosConfig::for_cell("B/Dynamic", panic_hour, ChaosMode::Panic, false)
+                    .expect("chaos cell id parses"),
+            ),
+            ..RunOptions::default()
+        };
+        let report = run_study_opts(&spec, &dir, &CancelToken::new(), &opts).unwrap();
+        prop_assert_eq!(report.status, StudyStatus::Completed);
+        let quarantined = report
+            .cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Quarantined { .. }))
+            .count();
+        prop_assert_eq!(quarantined, 1, "exactly the injected cell quarantines");
+
+        // The journal a panicking cell leaves behind decodes cleanly:
+        // no torn tail, and the incident is a readable record.
+        let (journal, tail) = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        prop_assert!(tail.is_none(), "panic at hour {} tore the journal tail", panic_hour);
+        let crashed = journal
+            .records()
+            .iter()
+            .filter(|r| {
+                String::from_utf8_lossy(r)
+                    .lines()
+                    .next()
+                    .is_some_and(|h| h.starts_with("cell-crashed B Dynamic 1 panic"))
+            })
+            .count();
+        prop_assert_eq!(crashed, 1, "the panic must be journaled exactly once");
+
+        // Resuming over the quarantine journal is a no-op that agrees
+        // with the original report cell by cell.
+        let resumed = resume_study_opts(&dir, None, &CancelToken::new(), &RunOptions {
+            retry: CellRetryPolicy::no_retry(),
+            ..RunOptions::default()
+        })
+        .unwrap();
+        prop_assert_eq!(resumed.status, StudyStatus::Completed);
+        prop_assert_eq!(resumed.cells.len(), report.cells.len());
+        for (a, b) in report.cells.iter().zip(&resumed.cells) {
+            prop_assert_eq!(a.dc, b.dc);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(&a.outcome, &b.outcome);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
