@@ -40,6 +40,10 @@ usage:
   vmcw study --resume DIR [--jobs N] [--max-hours N] [--max-secs F] [--kill-after-hours N] [--max-retries N] [--heartbeat-timeout SECS]
   vmcw health DIR
   vmcw bench [--scale F[,F...]] [--seed N] [--out DIR]
+  vmcw serve DIR [--port P] [--jobs N] [--queue N] [--breaker-trips K] [--breaker-cooldown SECS] [--default-deadline-ms N] [--max-retries N] [--heartbeat-timeout SECS] [--drain-grace SECS] [--seed N]
+  vmcw load --port P --get PATH [--expect-status N] [--expect-body SUBSTR] [--retry-for SECS]
+  vmcw load --port P --post PATH [--body JSON] [--expect-status N] [--expect-body SUBSTR]
+  vmcw load --port P --rps R --duration SECS [--post PATH] [--body JSON] [--expect-shed N] [--expect-ok N]
 
 exit codes: 0 success · 1 runtime failure · 2 bad arguments or unreadable input";
 
@@ -75,6 +79,7 @@ fn parse_dc(name: &str) -> Result<DataCenterId, String> {
     }
 }
 
+#[derive(Debug)]
 struct Args {
     positional: Vec<String>,
     flags: std::collections::BTreeMap<String, String>,
@@ -98,13 +103,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     Ok(Args { positional, flags })
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    };
-    let result = match cmd.as_str() {
+/// Routes one subcommand. Split from [`main`] so unit tests can drive
+/// the dispatcher (and its exit-code classification) without a process.
+fn dispatch(cmd: &str, rest: &[String]) -> Result<(), CliError> {
+    match cmd {
         "generate" => cmd_generate(rest),
         "analyze" => cmd_analyze(rest),
         "plan" => cmd_plan(rest),
@@ -115,25 +117,41 @@ fn main() -> ExitCode {
         "study" => cmd_study(rest),
         "health" => cmd_health(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
+        "load" => cmd_load(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError::Usage(format!(
-            "unknown subcommand `{other}`\n{USAGE}"
-        ))),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Run(msg)) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-        Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
-        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
+}
+
+/// Exit code for a dispatch result: 0 / 1 (runtime) / 2 (usage).
+fn exit_code_for(result: &Result<(), CliError>) -> u8 {
+    match result {
+        Ok(()) => 0,
+        Err(CliError::Run(_)) => 1,
+        Err(CliError::Usage(_)) => 2,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = dispatch(cmd, rest);
+    match &result {
+        Ok(()) => {}
+        Err(CliError::Run(msg)) => eprintln!("error: {msg}"),
+        // Every usage failure — unknown subcommand, malformed flags,
+        // missing arguments — prints the usage text so the caller can
+        // self-correct, and exits 2 (never 1: scripts retry on 1).
+        Err(CliError::Usage(msg)) => eprintln!("error: {msg}\n\n{USAGE}"),
+    }
+    ExitCode::from(exit_code_for(&result))
 }
 
 /// `vmcw study` — a crash-safe, resumable planner × data-center grid.
@@ -144,6 +162,20 @@ fn main() -> ExitCode {
 fn cmd_study(args: &[String]) -> Result<(), CliError> {
     let args = parse_args(args).map_err(usage)?;
     let token = CancelToken::new();
+    // Two-strike shutdown, shared with `vmcw serve`: the first
+    // SIGTERM/SIGINT cancels the token cooperatively — in-flight cells
+    // checkpoint and the journal stays resumable — and the second
+    // hard-exits (see vmcw_core::signals).
+    if vmcw_core::signals::install() {
+        let drain_token = token.clone();
+        vmcw_core::signals::on_first_signal(move || {
+            eprintln!(
+                "signal received: checkpointing and stopping \
+                 (resume with --resume; signal again to hard-exit)"
+            );
+            drain_token.cancel();
+        });
+    }
     if let Some(v) = args.flags.get("kill-after-hours") {
         token.cancel_after_hours(
             v.parse()
@@ -866,4 +898,260 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `vmcw serve DIR` — the long-running service mode: bounded admission
+/// queue with load shedding, per-request deadlines, a circuit breaker
+/// and graceful drain on SIGTERM/SIGINT. Blocks until drained.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use vmcw_core::serve::{ServeConfig, ServeError, Server};
+    let args = parse_args(args).map_err(usage)?;
+    let dir = args
+        .positional
+        .first()
+        .ok_or_else(|| usage("serve needs a state directory"))?;
+    let port: u16 = args.flags.get("port").map_or(Ok(0), |v| {
+        v.parse().map_err(|e| usage(format!("bad --port: {e}")))
+    })?;
+    let mut config = ServeConfig::new(dir, port);
+    let positive_usize = |name: &str, slot: &mut usize| -> Result<(), CliError> {
+        if let Some(v) = args.flags.get(name) {
+            *slot = v
+                .parse()
+                .map_err(|e| format!("bad --{name}: {e}"))
+                .and_then(|n: usize| {
+                    if n == 0 {
+                        Err(format!("--{name} must be at least 1"))
+                    } else {
+                        Ok(n)
+                    }
+                })
+                .map_err(usage)?;
+        }
+        Ok(())
+    };
+    positive_usize("jobs", &mut config.workers)?;
+    positive_usize("queue", &mut config.queue_depth)?;
+    positive_usize("breaker-trips", &mut config.breaker_trip_after)?;
+    if let Some(v) = args.flags.get("breaker-cooldown") {
+        config.breaker_cooldown_secs = v
+            .parse()
+            .map_err(|e| usage(format!("bad --breaker-cooldown: {e}")))?;
+    }
+    if let Some(v) = args.flags.get("default-deadline-ms") {
+        config.default_deadline_ms = Some(
+            v.parse()
+                .map_err(|e| usage(format!("bad --default-deadline-ms: {e}")))?,
+        );
+    }
+    if let Some(v) = args.flags.get("seed") {
+        config.seed = v
+            .parse()
+            .map_err(|e| usage(format!("bad --seed: {e}")))?;
+    }
+    if let Some(v) = args.flags.get("max-retries") {
+        let retries: usize = v
+            .parse()
+            .map_err(|e| usage(format!("bad --max-retries: {e}")))?;
+        config.retry.max_attempts = retries + 1;
+    }
+    if let Some(v) = args.flags.get("heartbeat-timeout") {
+        config.heartbeat_timeout_secs = Some(
+            v.parse()
+                .map_err(|e| usage(format!("bad --heartbeat-timeout: {e}")))?,
+        );
+    }
+    if let Some(v) = args.flags.get("drain-grace") {
+        config.drain_grace_secs = v
+            .parse()
+            .map_err(|e| usage(format!("bad --drain-grace: {e}")))?;
+    }
+    config.chaos = ChaosConfig::from_env();
+
+    let server = Server::bind(config).map_err(|e| match e {
+        ServeError::Config { .. } => usage(e),
+        ServeError::Io { .. } => run_err(e),
+    })?;
+    println!(
+        "vmcw serve: listening on 127.0.0.1:{} (POST /v1/plan, POST /v1/replay, \
+         GET /v1/jobs/<id>, GET /healthz, GET /readyz)",
+        server.port()
+    );
+    if vmcw_core::signals::install() {
+        let handle = server.drain_handle();
+        vmcw_core::signals::on_first_signal(move || {
+            eprintln!("signal received: draining (signal again to hard-exit)");
+            handle.drain();
+        });
+    } else {
+        eprintln!("note: no signal support on this target; stop by draining manually");
+    }
+    server.join();
+    println!("vmcw serve: drained cleanly");
+    Ok(())
+}
+
+/// `vmcw load` — the included load client: one-shot requests with
+/// status/body assertions (optionally retried for a bounded window, so
+/// CI can wait for boot or job completion) and a fixed-rate flood mode
+/// for overload tests.
+fn cmd_load(args: &[String]) -> Result<(), CliError> {
+    use vmcw_bench::load::{flood, request};
+    let args = parse_args(args).map_err(usage)?;
+    let port: u16 = args
+        .flags
+        .get("port")
+        .ok_or_else(|| usage("--port is required"))?
+        .parse()
+        .map_err(|e| usage(format!("bad --port: {e}")))?;
+    let expect_status: Option<u16> = args
+        .flags
+        .get("expect-status")
+        .map(|v| v.parse().map_err(|e| usage(format!("bad --expect-status: {e}"))))
+        .transpose()?;
+    let expect_body = args.flags.get("expect-body");
+    let default_body = "{\"dcs\": \"A\", \"planners\": [\"Semi-Static\"], \
+                        \"scale\": 0.02, \"history_days\": 2, \"eval_days\": 1}";
+    let body = args.flags.get("body").map_or(default_body, String::as_str);
+
+    if let Some(rps) = args.flags.get("rps") {
+        // Flood mode.
+        let rps: u32 = rps.parse().map_err(|e| usage(format!("bad --rps: {e}")))?;
+        let duration: f64 = args
+            .flags
+            .get("duration")
+            .ok_or_else(|| usage("--rps needs --duration SECS"))?
+            .parse()
+            .map_err(|e| usage(format!("bad --duration: {e}")))?;
+        let path = args.flags.get("post").map_or("/v1/plan", String::as_str);
+        let report = flood(port, path, body, rps, duration);
+        println!("{}", report.summary());
+        if let Some(v) = args.flags.get("expect-shed") {
+            let want: usize = v
+                .parse()
+                .map_err(|e| usage(format!("bad --expect-shed: {e}")))?;
+            if report.count(503) < want {
+                return Err(run_err(format!(
+                    "expected at least {want} shed (503) responses, saw {}",
+                    report.count(503)
+                )));
+            }
+        }
+        if let Some(v) = args.flags.get("expect-ok") {
+            let want: usize = v
+                .parse()
+                .map_err(|e| usage(format!("bad --expect-ok: {e}")))?;
+            if report.count(200) < want {
+                return Err(run_err(format!(
+                    "expected at least {want} 200 responses, saw {}",
+                    report.count(200)
+                )));
+            }
+        }
+        return Ok(());
+    }
+
+    // One-shot mode: --get PATH or --post PATH, optionally retried
+    // until the expectations hold.
+    let (method, path) = if let Some(p) = args.flags.get("get") {
+        ("GET", p.as_str())
+    } else if let Some(p) = args.flags.get("post") {
+        ("POST", p.as_str())
+    } else {
+        return Err(usage("load needs --get PATH, --post PATH or --rps R"));
+    };
+    let retry_for: f64 = args.flags.get("retry-for").map_or(Ok(0.0), |v| {
+        v.parse().map_err(|e| usage(format!("bad --retry-for: {e}")))
+    })?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(retry_for);
+    let meets = |status: u16, text: &str| {
+        expect_status.is_none_or(|want| status == want)
+            && expect_body.is_none_or(|want| text.contains(want.as_str()))
+    };
+    loop {
+        let outcome = request(port, method, path, if method == "GET" { "" } else { body });
+        let done = match &outcome {
+            Ok(reply) => meets(reply.status, &reply.body),
+            Err(_) => false,
+        };
+        if done {
+            let reply = outcome.expect("checked above");
+            println!("{} {} -> {} {}", method, path, reply.status, reply.body);
+            return Ok(());
+        }
+        if std::time::Instant::now() >= deadline {
+            return match outcome {
+                Ok(reply) => Err(run_err(format!(
+                    "{method} {path} -> {} {} (expectation not met)",
+                    reply.status, reply.body
+                ))),
+                Err(e) => Err(run_err(format!("{method} {path}: {e}"))),
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_args_splits_positionals_and_flags() {
+        let args = parse_args(&argv(&["trace.csv", "--dc", "banking", "--seed", "7"])).unwrap();
+        assert_eq!(args.positional, vec!["trace.csv"]);
+        assert_eq!(args.flags.get("dc").map(String::as_str), Some("banking"));
+        assert_eq!(args.flags.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn parse_args_rejects_a_flag_without_a_value() {
+        let err = parse_args(&argv(&["--out"])).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error_exit_2() {
+        let result = dispatch("frobnicate", &[]);
+        assert_eq!(exit_code_for(&result), 2);
+        let Err(CliError::Usage(msg)) = result else {
+            panic!("expected a usage error");
+        };
+        assert!(msg.contains("frobnicate"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_exit_2() {
+        // A flag missing its value, through the real dispatcher.
+        assert_eq!(exit_code_for(&dispatch("study", &argv(&["--out"]))), 2);
+        // A flag with an unparsable value.
+        assert_eq!(
+            exit_code_for(&dispatch(
+                "study",
+                &argv(&["--out", "/tmp/x", "--jobs", "zero"])
+            )),
+            2
+        );
+        assert_eq!(
+            exit_code_for(&dispatch("serve", &argv(&["/tmp/x", "--port", "notaport"]))),
+            2
+        );
+        assert_eq!(exit_code_for(&dispatch("load", &argv(&[]))), 2);
+    }
+
+    #[test]
+    fn runtime_failures_exit_1_and_success_exits_0() {
+        assert_eq!(exit_code_for(&Ok(())), 0);
+        assert_eq!(exit_code_for(&Err(run_err("boom"))), 1);
+        assert_eq!(exit_code_for(&Err(usage("bad"))), 2);
+    }
+
+    #[test]
+    fn help_is_success() {
+        assert_eq!(exit_code_for(&dispatch("help", &[])), 0);
+    }
 }

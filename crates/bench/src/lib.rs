@@ -2,6 +2,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod load;
 pub mod perf;
 
 use vmcw_consolidation::input::{PlanningInput, VirtualizationModel};

@@ -46,10 +46,48 @@ pub struct CellHealth {
 /// One periodically-rewritten `health.json` snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthSnapshot {
-    /// Study status: `running`, `completed`, `interrupted` or `failed`.
+    /// Study status: `running`, `completed`, `interrupted` or `failed`
+    /// (`vmcw serve` adds `draining`).
     pub status: String,
     /// Per-cell health, grid order.
     pub cells: Vec<CellHealth>,
+    /// Service-mode telemetry, present only in snapshots written by
+    /// `vmcw serve`. Optional in the document too, so v1 parsers and
+    /// batch snapshots are unaffected.
+    pub serve: Option<ServeHealth>,
+}
+
+/// Service-mode (`vmcw serve`) telemetry block of a health snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeHealth {
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Admission-queue bound; at this depth new work is shed.
+    pub queue_limit: usize,
+    /// Size of the worker pool.
+    pub workers: usize,
+    /// Requests shed (503) since boot.
+    pub shed_total: u64,
+    /// Requests that hit their deadline (504) since boot.
+    pub deadline_timeouts: u64,
+    /// Circuit-breaker state: `closed`, `open` or `half-open`.
+    pub breaker: String,
+    /// Consecutive failures counted toward the breaker trip.
+    pub breaker_failures: usize,
+    /// Jobs currently executing or admitted, with their deadlines.
+    pub inflight: Vec<InflightJob>,
+}
+
+/// One admitted-but-unfinished job in a [`ServeHealth`] block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InflightJob {
+    /// Job id.
+    pub job: String,
+    /// Job state: `queued` or `running`.
+    pub state: String,
+    /// Milliseconds until the job's deadline (negative = past due);
+    /// `None` when the job has no deadline.
+    pub deadline_ms_remaining: Option<i64>,
 }
 
 /// Why a `health.json` could not be understood.
@@ -82,7 +120,7 @@ impl fmt::Display for HealthError {
 
 impl std::error::Error for HealthError {}
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -109,6 +147,34 @@ impl HealthSnapshot {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema\": {},\n", json_string(HEALTH_SCHEMA)));
         out.push_str(&format!("  \"status\": {},\n", json_string(&self.status)));
+        if let Some(s) = &self.serve {
+            let inflight: Vec<String> = s
+                .inflight
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{{\"job\": {}, \"state\": {}, \"deadline_ms_remaining\": {}}}",
+                        json_string(&j.job),
+                        json_string(&j.state),
+                        j.deadline_ms_remaining
+                            .map_or_else(|| "null".to_owned(), |ms| ms.to_string()),
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "  \"serve\": {{\"queue_depth\": {}, \"queue_limit\": {}, \
+                 \"workers\": {}, \"shed_total\": {}, \"deadline_timeouts\": {}, \
+                 \"breaker\": {}, \"breaker_failures\": {}, \"inflight\": [{}]}},\n",
+                s.queue_depth,
+                s.queue_limit,
+                s.workers,
+                s.shed_total,
+                s.deadline_timeouts,
+                json_string(&s.breaker),
+                s.breaker_failures,
+                inflight.join(", "),
+            ));
+        }
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let incidents: Vec<String> = c.incidents.iter().map(|s| json_string(s)).collect();
@@ -150,6 +216,41 @@ impl HealthSnapshot {
             });
         }
         let status = get(top, "status")?.as_str("status")?.to_owned();
+        // The `serve` block is optional: batch snapshots and pre-serve
+        // documents simply don't carry it.
+        let serve = match opt(top, "serve") {
+            None => None,
+            Some(v) => {
+                let obj = v.as_object("serve")?;
+                let num = |key: &str| -> Result<f64, HealthError> {
+                    get(obj, key)?.as_number(&format!("serve.{key}"))
+                };
+                let mut inflight = Vec::new();
+                for (i, j) in get(obj, "inflight")?.as_array("serve.inflight")?.iter().enumerate() {
+                    let ctx = format!("serve.inflight[{i}]");
+                    let jo = j.as_object(&ctx)?;
+                    let deadline = match get(jo, "deadline_ms_remaining")? {
+                        Json::Null => None,
+                        other => Some(other.as_number(&format!("{ctx}.deadline_ms_remaining"))? as i64),
+                    };
+                    inflight.push(InflightJob {
+                        job: get(jo, "job")?.as_str(&ctx)?.to_owned(),
+                        state: get(jo, "state")?.as_str(&ctx)?.to_owned(),
+                        deadline_ms_remaining: deadline,
+                    });
+                }
+                Some(ServeHealth {
+                    queue_depth: num("queue_depth")? as usize,
+                    queue_limit: num("queue_limit")? as usize,
+                    workers: num("workers")? as usize,
+                    shed_total: num("shed_total")? as u64,
+                    deadline_timeouts: num("deadline_timeouts")? as u64,
+                    breaker: get(obj, "breaker")?.as_str("serve.breaker")?.to_owned(),
+                    breaker_failures: num("breaker_failures")? as usize,
+                    inflight,
+                })
+            }
+        };
         let mut cells = Vec::new();
         for (i, c) in get(top, "cells")?.as_array("cells")?.iter().enumerate() {
             let ctx = format!("cells[{i}]");
@@ -174,11 +275,31 @@ impl HealthSnapshot {
                 incidents,
             });
         }
-        Ok(Self { status, cells })
+        Ok(Self {
+            status,
+            cells,
+            serve,
+        })
+    }
+
+    /// [`parse`](Self::parse) over raw bytes: non-UTF8 input is a
+    /// [`HealthError::Syntax`] at the offending byte, never a panic —
+    /// the on-disk file may be torn or corrupted.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`parse`](Self::parse) returns, plus `Syntax` for
+    /// invalid UTF-8.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Self, HealthError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| HealthError::Syntax {
+            offset: e.valid_up_to(),
+            detail: "invalid UTF-8".into(),
+        })?;
+        Self::parse(text)
     }
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, HealthError> {
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, HealthError> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
@@ -187,9 +308,14 @@ fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, HealthError
         })
 }
 
-/// A minimal JSON value — just enough to read our own telemetry.
+pub(crate) fn opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A minimal JSON value — just enough to read our own telemetry and
+/// the `vmcw serve` request bodies (which reuse this parser).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Number(f64),
@@ -199,7 +325,7 @@ enum Json {
 }
 
 impl Json {
-    fn parse(text: &str) -> Result<Self, HealthError> {
+    pub(crate) fn parse(text: &str) -> Result<Self, HealthError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             at: 0,
@@ -230,28 +356,35 @@ impl Json {
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, HealthError> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, HealthError> {
         match self {
             Json::String(s) => Ok(s),
             other => Err(other.wrong(what, "string")),
         }
     }
 
-    fn as_number(&self, what: &str) -> Result<f64, HealthError> {
+    pub(crate) fn as_number(&self, what: &str) -> Result<f64, HealthError> {
         match self {
             Json::Number(n) => Ok(*n),
             other => Err(other.wrong(what, "number")),
         }
     }
 
-    fn as_array(&self, what: &str) -> Result<&[Json], HealthError> {
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, HealthError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(other.wrong(what, "bool")),
+        }
+    }
+
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[Json], HealthError> {
         match self {
             Json::Array(a) => Ok(a),
             other => Err(other.wrong(what, "array")),
         }
     }
 
-    fn as_object(&self, what: &str) -> Result<&[(String, Json)], HealthError> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Json)], HealthError> {
         match self {
             Json::Object(o) => Ok(o),
             other => Err(other.wrong(what, "object")),
@@ -324,6 +457,12 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                // Lookups take the first match, so a duplicate would
+                // silently shadow data — a classic parser-differential
+                // vector. Reject instead.
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
             self.skip_ws();
             self.eat(b':')?;
             self.skip_ws();
@@ -431,6 +570,15 @@ impl Parser<'_> {
             offset: start,
             detail: format!("bad number `{text}`"),
         })?;
+        if !n.is_finite() {
+            // `"1e999".parse::<f64>()` is Ok(inf); every numeric field
+            // in our documents is a finite count or rate, so an
+            // overflowing literal is corruption, not data.
+            return Err(HealthError::Syntax {
+                offset: start,
+                detail: format!("number `{text}` overflows an f64"),
+            });
+        }
         Ok(Json::Number(n))
     }
 }
@@ -466,7 +614,49 @@ mod tests {
                     incidents: vec![],
                 },
             ],
+            serve: None,
         }
+    }
+
+    #[test]
+    fn serve_block_round_trips() {
+        let mut snap = sample();
+        snap.serve = Some(ServeHealth {
+            queue_depth: 2,
+            queue_limit: 8,
+            workers: 4,
+            shed_total: 17,
+            deadline_timeouts: 3,
+            breaker: "half-open".into(),
+            breaker_failures: 1,
+            inflight: vec![
+                InflightJob {
+                    job: "job-0001".into(),
+                    state: "running".into(),
+                    deadline_ms_remaining: Some(-12),
+                },
+                InflightJob {
+                    job: "job-0002".into(),
+                    state: "queued".into(),
+                    deadline_ms_remaining: None,
+                },
+            ],
+        });
+        let parsed = HealthSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn snapshot_without_serve_block_still_parses() {
+        // Back-compat: v1 documents written before service mode.
+        let snap = HealthSnapshot::parse(&sample().to_json()).unwrap();
+        assert_eq!(snap.serve, None);
+    }
+
+    #[test]
+    fn parse_bytes_rejects_non_utf8() {
+        let err = HealthSnapshot::parse_bytes(&[b'{', 0xFF, 0xFE, b'}']).unwrap_err();
+        assert!(matches!(err, HealthError::Syntax { offset: 1, .. }), "{err}");
     }
 
     #[test]
@@ -495,6 +685,34 @@ mod tests {
     fn missing_fields_are_schema_errors() {
         let err = HealthSnapshot::parse("{\"schema\": \"vmcw-health/v1\"}").unwrap_err();
         assert!(err.to_string().contains("status"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = HealthSnapshot::parse(
+            "{\"schema\": \"vmcw-health/v1\", \"schema\": \"vmcw-health/v1\", \
+             \"status\": \"running\", \"cells\": []}",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        for lit in ["1e999", "-1e999", "1e309"] {
+            let text = format!(
+                "{{\"schema\": \"vmcw-health/v1\", \"status\": \"x\", \
+                 \"cells\": [], \"n\": {lit}}}"
+            );
+            let err = HealthSnapshot::parse(&text).unwrap_err();
+            assert!(err.to_string().contains("overflows"), "{lit}: {err}");
+        }
+        // Large-but-finite literals still parse.
+        let ok = HealthSnapshot::parse(
+            "{\"schema\": \"vmcw-health/v1\", \"status\": \"x\", \
+             \"cells\": [], \"n\": 1e308}",
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

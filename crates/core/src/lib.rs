@@ -15,6 +15,11 @@
 //! * [`supervise`] — budgeted, resumable execution of planner ×
 //!   data-center study grids with checkpoint/restore and degraded
 //!   partial reports.
+//! * [`serve`] — long-running HTTP service mode with bounded admission,
+//!   load shedding, per-request deadlines, a circuit breaker and
+//!   graceful drain.
+//! * [`signals`] — minimal SIGTERM/SIGINT plumbing shared by the batch
+//!   and service entry points (first signal drains, second hard-exits).
 //!
 //! The lower layers are re-exported so that downstream users only need
 //! this crate:
@@ -29,13 +34,19 @@
 //! # Ok::<(), vmcw_core::study::StudyError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the signal handler in [`signals`] needs two
+// libc FFI declarations (`signal`, `_exit`) — there is no safe,
+// dependency-free way to catch SIGTERM. Everything else stays safe;
+// the single exemption is scoped with `#[allow(unsafe_code)]` there.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod health;
 pub mod journal;
 pub mod render;
+pub mod serve;
+pub mod signals;
 pub mod study;
 pub mod supervise;
 

@@ -1,0 +1,174 @@
+//! Minimal SIGTERM/SIGINT plumbing shared by `vmcw study` and
+//! `vmcw serve`.
+//!
+//! The policy is the classic two-strike shutdown:
+//!
+//! 1. **First signal** — cooperative drain. The process keeps running;
+//!    callers poll [`signals_seen`] (or register a callback with
+//!    [`on_first_signal`]) and cancel work through the existing
+//!    [`CancelToken`](crate::supervise::CancelToken) machinery, which
+//!    checkpoints in-flight replays so they resume later.
+//! 2. **Second signal** — hard exit with [`HARD_EXIT_CODE`]. The
+//!    operator asked twice; don't make them reach for `kill -9`.
+//!
+//! The handler itself is async-signal-safe: it only touches an atomic
+//! counter and (on the second strike) calls `_exit`. All real work —
+//! cancelling tokens, flipping `/readyz`, joining workers — happens on
+//! ordinary threads that *observe* the counter.
+//!
+//! This workspace is offline and carries no `libc`/`signal-hook`
+//! dependency, so the two required syscalls are declared by hand in a
+//! tightly-scoped `#[allow(unsafe_code)]` module; on non-Unix targets
+//! installation is a no-op and [`install`] reports `false`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Exit status used when a second signal hard-exits the process:
+/// 128 + SIGINT(2), the conventional "killed by signal" encoding.
+pub const HARD_EXIT_CODE: i32 = 130;
+
+/// What the process should do in response to its `nth` delivered
+/// signal (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalAction {
+    /// Stop accepting new work, checkpoint in-flight work, exit 0.
+    Drain,
+    /// Exit immediately with [`HARD_EXIT_CODE`].
+    HardExit,
+}
+
+/// The two-strike policy: first signal drains, everything after
+/// hard-exits. Factored out of the handler so it is unit-testable
+/// without delivering real signals.
+#[must_use]
+pub fn action_for(nth: usize) -> SignalAction {
+    if nth <= 1 {
+        SignalAction::Drain
+    } else {
+        SignalAction::HardExit
+    }
+}
+
+/// Signals delivered so far (SIGTERM + SIGINT combined).
+static SIGNAL_COUNT: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// How many termination signals the process has received.
+#[must_use]
+pub fn signals_seen() -> usize {
+    SIGNAL_COUNT.load(Ordering::SeqCst)
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent). Returns `true`
+/// when the handler is active, `false` on targets without POSIX
+/// signals — callers must treat signal-driven drain as best-effort.
+pub fn install() -> bool {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return ffi::SUPPORTED;
+    }
+    ffi::install_handlers();
+    ffi::SUPPORTED
+}
+
+/// Spawns a watcher thread that invokes `on_drain` once, as soon as the
+/// first signal lands. Returns immediately; the thread exits after
+/// firing (or never, if no signal arrives — it is a daemon-style
+/// observer and never joined).
+pub fn on_first_signal<F>(on_drain: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("vmcw-signal-watch".into())
+        .spawn(move || {
+            while signals_seen() == 0 {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            on_drain();
+        })
+        .expect("spawn signal watcher");
+}
+
+/// Test hook: simulates a delivered signal without raising one, so the
+/// drain paths are exercisable on any target and under `cargo test`.
+pub fn simulate_signal() {
+    handle_signal();
+}
+
+/// Shared handler body. Async-signal-safe: atomics and `_exit` only.
+fn handle_signal() {
+    let nth = SIGNAL_COUNT.fetch_add(1, Ordering::SeqCst) + 1;
+    if action_for(nth) == SignalAction::HardExit {
+        ffi::hard_exit(HARD_EXIT_CODE);
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod ffi {
+    //! The only unsafe code in the crate: `signal(2)` registration and
+    //! `_exit(2)`. Both are declared by hand because the workspace is
+    //! offline (no `libc` crate).
+
+    pub(super) const SUPPORTED: bool = true;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    extern "C" fn trampoline(_signum: i32) {
+        super::handle_signal();
+    }
+
+    pub(super) fn install_handlers() {
+        // SAFETY: `signal` is async-signal-safe to call from normal
+        // context; the registered trampoline only performs an atomic
+        // fetch_add and (second strike) `_exit`, both of which are on
+        // the POSIX async-signal-safe list.
+        unsafe {
+            signal(SIGTERM, trampoline);
+            signal(SIGINT, trampoline);
+        }
+    }
+
+    pub(super) fn hard_exit(code: i32) -> ! {
+        // SAFETY: `_exit` terminates the process without running
+        // libc/atexit teardown — exactly what a second strike wants
+        // (no flushing, no destructors that could hang).
+        unsafe { _exit(code) }
+    }
+}
+
+#[cfg(not(unix))]
+mod ffi {
+    pub(super) const SUPPORTED: bool = false;
+
+    pub(super) fn install_handlers() {}
+
+    pub(super) fn hard_exit(code: i32) -> ! {
+        std::process::exit(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_strike_policy() {
+        assert_eq!(action_for(0), SignalAction::Drain);
+        assert_eq!(action_for(1), SignalAction::Drain);
+        assert_eq!(action_for(2), SignalAction::HardExit);
+        assert_eq!(action_for(7), SignalAction::HardExit);
+    }
+
+    #[test]
+    fn hard_exit_code_is_128_plus_sigint() {
+        assert_eq!(HARD_EXIT_CODE, 128 + 2);
+    }
+}

@@ -66,7 +66,7 @@ use vmcw_trace::datacenters::DataCenterId;
 use crate::health::{CellHealth, HealthSnapshot, HEALTH_FILE};
 use crate::journal::{write_atomic, Journal, JournalError, TailCorruption};
 use crate::render::{fnum, Table};
-use crate::study::{Study, StudyConfig};
+use crate::study::{Study, StudyConfig, StudyError};
 
 /// Cooperative cancellation shared between a supervisor and whoever
 /// wants to stop it (a signal handler, a test, a deadline).
@@ -86,6 +86,10 @@ struct TokenInner {
     /// lets tests kill a study at a *deterministic* point.
     limit_hours: AtomicU64,
     stepped: AtomicU64,
+    /// Wall-clock deadline past which [`CancelToken::is_cancelled`]
+    /// reports true — how `vmcw serve` propagates per-request deadlines
+    /// into a replay without any extra sweeper thread.
+    deadline: Mutex<Option<Instant>>,
 }
 
 impl CancelToken {
@@ -97,6 +101,7 @@ impl CancelToken {
                 cancelled: AtomicBool::new(false),
                 limit_hours: AtomicU64::new(u64::MAX),
                 stepped: AtomicU64::new(0),
+                deadline: Mutex::new(None),
             }),
         }
     }
@@ -106,10 +111,46 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::SeqCst);
     }
 
-    /// Whether cancellation was requested.
+    /// Arms an externally-supplied deadline: once `deadline` passes,
+    /// [`is_cancelled`](Self::is_cancelled) reports true at the next
+    /// poll (the supervisor polls at every hour boundary, so a replay
+    /// checkpoints and yields within one step of the deadline).
+    pub fn cancel_at(&self, deadline: Instant) {
+        *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(deadline);
+    }
+
+    /// The armed deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether the armed deadline (if any) has passed.
+    #[must_use]
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline().is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether cancellation was requested (explicitly, or implicitly by
+    /// an expired [`cancel_at`](Self::cancel_at) deadline).
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::SeqCst)
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        if self.deadline_passed() {
+            self.cancel();
+            return true;
+        }
+        false
     }
 
     /// Arms the token to cancel after `hours` replay hours have been
@@ -1098,12 +1139,45 @@ impl Executor<'_> {
                 self.interrupted.store(true, Ordering::SeqCst);
                 return;
             }
-            let di = self
-                .spec
-                .dcs
-                .iter()
-                .position(|d| *d == dc)
-                .expect("grid cell's DC is in the spec");
+            // A resumed spec can disagree with the journaled grid
+            // (edited spec file, version skew). Degrade the cell with a
+            // typed error instead of panicking and killing this worker.
+            let Some(di) = self.spec.dcs.iter().position(|d| *d == dc) else {
+                let error = StudyError::SpecMismatch {
+                    detail: format!(
+                        "grid cell {} {} names a data center absent from the spec",
+                        dc.letter(),
+                        kind.label()
+                    ),
+                }
+                .to_string();
+                let cell = CellReport {
+                    dc,
+                    kind,
+                    outcome: CellOutcome::Aborted { error },
+                    report: None,
+                    cost: None,
+                };
+                let journaled = append_cell_done(&mut self.journal(), &cell);
+                self.set_health(dc, kind, "aborted", 1, None);
+                match journaled {
+                    Ok(()) => {
+                        self.finished
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((idx, cell));
+                        continue;
+                    }
+                    Err(e) => {
+                        self.fatal
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(e);
+                        self.abort.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            };
             match self.run_cell_supervised(dc, kind, di) {
                 Ok(Some(cell)) => self
                     .finished
@@ -1166,7 +1240,11 @@ impl Executor<'_> {
                     return Ok(Some(*cell));
                 }
                 CellRun::Yielded => {
-                    self.set_health(dc, kind, "interrupted", attempt, None);
+                    // Record how far the attempt got so health.json
+                    // carries partial progress for interrupted cells
+                    // (serve's 504 body reads it back).
+                    let hours = watch.hours.load(Ordering::SeqCst);
+                    self.set_health(dc, kind, "interrupted", attempt, Some(hours));
                     return Ok(None);
                 }
                 CellRun::Transient {
@@ -1212,7 +1290,8 @@ impl Executor<'_> {
                         if self.token.is_cancelled() {
                             self.interrupted.store(true, Ordering::SeqCst);
                         }
-                        self.set_health(dc, kind, "interrupted", attempt, None);
+                        let hours = watch.hours.load(Ordering::SeqCst);
+                        self.set_health(dc, kind, "interrupted", attempt, Some(hours));
                         return Ok(None);
                     }
                     attempt = next;
@@ -1547,6 +1626,7 @@ impl Executor<'_> {
         HealthSnapshot {
             status: status.to_owned(),
             cells,
+            serve: None,
         }
     }
 
