@@ -585,6 +585,12 @@ fn drain(shared: &Arc<Shared>) {
     // clients fast so their connections don't hang out the drain.
     let drained: Vec<QueuedJob> = shared.lock_queue().drain(..).collect();
     for job in drained {
+        if job.probe {
+            // An unresolved half-open probe would wedge the breaker in
+            // HalfOpen forever; count the flushed probe as failed so
+            // the breaker re-opens and can retry after its cooldown.
+            shared.lock_breaker().record_failure();
+        }
         shared.set_job(&job.id, |r| {
             r.state = "cancelled";
             r.detail = "shed during drain".into();
@@ -830,23 +836,30 @@ fn sweeper_loop(shared: &Arc<Shared>) {
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let response = match read_request(&mut stream) {
-        Ok(req) => route(shared, &req),
+        Ok(req) => Some(route(shared, &req)),
         Err(e) => error_response(&e),
     };
-    let _ = response.write_to(&mut stream);
+    if let Some(response) = response {
+        let _ = response.write_to(&mut stream);
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-fn error_response(e: &HttpError) -> Response {
+/// `None` when the transport itself broke mid-request: there is no
+/// coherent peer to answer, and a 4xx would mislabel a server/network
+/// condition as a client syntax error in telemetry.
+fn error_response(e: &HttpError) -> Option<Response> {
     let status = match e {
-        HttpError::Bad { .. } | HttpError::Io { .. } => 400,
+        HttpError::Bad { .. } => 400,
+        HttpError::Io { timeout: true, .. } => 408,
+        HttpError::Io { timeout: false, .. } => return None,
         HttpError::TooLarge { detail } if detail.contains("body") => 413,
         HttpError::TooLarge { .. } => 431,
     };
-    Response::json(
+    Some(Response::json(
         status,
         format!("{{\"error\": {}}}", json_string(&e.to_string())),
-    )
+    ))
 }
 
 fn route(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -923,42 +936,55 @@ fn submit(shared: &Arc<Shared>, body: &[u8], allow_faults: bool) -> Response {
         }
     };
 
-    // Fail fast while the breaker is open: don't even touch the queue.
-    let probe = match shared.lock_breaker().admit() {
-        Ok(probe) => probe,
-        Err(retry_secs) => {
-            return Response::json(
-                503,
-                "{\"error\": \"circuit breaker is open: recent jobs failed\"}",
-            )
-            .header("Retry-After", retry_secs.ceil().max(1.0) as u64);
-        }
-    };
-
-    let id = job.id.unwrap_or_else(|| {
-        format!("job-{:04}", shared.next_id.fetch_add(1, Ordering::SeqCst))
-    });
-    let deadline = job
-        .deadline_ms
-        .or(shared.config.default_deadline_ms)
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
-
     let (tx, rx) = mpsc::channel();
     {
         // Registry insert and queue push under a consistent order
-        // (jobs lock first, then queue) — the shed decision and the
-        // duplicate check must be atomic with the insert.
+        // (jobs lock first, then queue, then breaker) — the duplicate
+        // check and the shed decision must be atomic with the insert,
+        // and the breaker is consulted *last*, after every other
+        // reject, so no early return can consume its half-open probe
+        // without a job carrying it into the queue.
         let mut jobs = shared.lock_jobs();
-        if jobs.contains_key(&id) || shared.job_dir(&id).join(JOURNAL_FILE).exists() {
-            return Response::json(
-                409,
-                format!(
-                    "{{\"error\": {}}}",
-                    json_string(&format!("job `{id}` already exists"))
-                ),
-            );
-        }
+        let exists = |id: &str| {
+            jobs.contains_key(id) || shared.job_dir(id).join(JOURNAL_FILE).exists()
+        };
+        let id = match job.id {
+            Some(id) => {
+                if exists(&id) {
+                    return Response::json(
+                        409,
+                        format!(
+                            "{{\"error\": {}}}",
+                            json_string(&format!("job `{id}` already exists"))
+                        ),
+                    );
+                }
+                id
+            }
+            // Generated ids must skip jobs recovered from a previous
+            // process (next_id restarts at 1 every boot) and anything
+            // else already on disk.
+            None => loop {
+                let id =
+                    format!("job-{:04}", shared.next_id.fetch_add(1, Ordering::SeqCst));
+                if !exists(&id) {
+                    break id;
+                }
+            },
+        };
+        let deadline = job
+            .deadline_ms
+            .or(shared.config.default_deadline_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
         let mut queue = shared.lock_queue();
+        // drain() sets the flag before flushing the queue under this
+        // lock, so re-checking here closes the entry-check race: either
+        // the flag is visible now, or our push lands before the flush
+        // and the flush answers the client with the drain 503.
+        if shared.draining() {
+            return Response::json(503, "{\"error\": \"server is draining\"}")
+                .header("Retry-After", 1);
+        }
         if queue.len() >= shared.config.queue_depth {
             shared.shed_total.fetch_add(1, Ordering::SeqCst);
             return Response::json(
@@ -973,6 +999,16 @@ fn submit(shared: &Arc<Shared>, body: &[u8], allow_faults: bool) -> Response {
             )
             .header("Retry-After", shared.config.queue_depth.max(1));
         }
+        let probe = match shared.lock_breaker().admit() {
+            Ok(probe) => probe,
+            Err(retry_secs) => {
+                return Response::json(
+                    503,
+                    "{\"error\": \"circuit breaker is open: recent jobs failed\"}",
+                )
+                .header("Retry-After", retry_secs.ceil().max(1.0) as u64);
+            }
+        };
         jobs.insert(id.clone(), JobRecord::queued(deadline));
         queue.push_back(QueuedJob {
             id: id.clone(),
@@ -1026,6 +1062,11 @@ fn run_job(shared: &Arc<Shared>, job: QueuedJob) {
     // A job whose deadline elapsed while it queued never starts: that
     // is the cheapest possible shed.
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        if job.probe {
+            // Same as the drain flush: a probe that never runs must not
+            // leave the breaker stuck in HalfOpen.
+            shared.lock_breaker().record_failure();
+        }
         shared.deadline_timeouts.fetch_add(1, Ordering::SeqCst);
         let resumable = job.spec.is_none(); // resume work keeps its journal
         shared.set_job(&job.id, |r| {
@@ -1053,6 +1094,12 @@ fn run_job(shared: &Arc<Shared>, job: QueuedJob) {
         r.state = "running";
         r.token = Some(token.clone());
     });
+    // A drain that swept the registry between our pop and the token
+    // landing above would miss this job; re-check so the job still
+    // observes the drain instead of running to completion.
+    if shared.draining() {
+        token.cancel();
+    }
 
     let dir = shared.job_dir(&job.id);
     let opts = RunOptions {
@@ -1328,6 +1375,91 @@ mod tests {
         }
         // The same faulted body is fine on /v1/replay.
         assert!(parse_job_spec(b"{\"faults\": true}", true).is_ok());
+    }
+
+    #[test]
+    fn http_errors_map_to_statuses_without_blaming_the_client_for_io() {
+        let bad = HttpError::Bad { detail: "x".into() };
+        assert_eq!(error_response(&bad).expect("response").status, 400);
+        let timeout = HttpError::Io {
+            detail: "timed out".into(),
+            timeout: true,
+        };
+        assert_eq!(error_response(&timeout).expect("response").status, 408);
+        // A broken transport mid-request gets no response at all: there
+        // is nobody coherent to answer.
+        let broken = HttpError::Io {
+            detail: "connection reset".into(),
+            timeout: false,
+        };
+        assert!(error_response(&broken).is_none());
+        let head = HttpError::TooLarge {
+            detail: "request head over 16384 bytes".into(),
+        };
+        assert_eq!(error_response(&head).expect("response").status, 431);
+        let body = HttpError::TooLarge {
+            detail: "declared body of 9 bytes over 8".into(),
+        };
+        assert_eq!(error_response(&body).expect("response").status, 413);
+    }
+
+    /// A [`Shared`] with no threads attached, for exercising queue and
+    /// breaker bookkeeping directly.
+    fn bare_shared() -> Arc<Shared> {
+        let config = ServeConfig::new(std::env::temp_dir().join("vmcw-serve-unit"), 0);
+        Arc::new(Shared {
+            breaker: Mutex::new(Breaker::new(
+                config.breaker_trip_after,
+                config.breaker_cooldown_secs,
+                config.seed,
+            )),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            shed_total: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// A queued job carrying the breaker's half-open probe that is
+    /// consumed *without running* (drain flush, queued-deadline shed)
+    /// must resolve the probe — otherwise the breaker stays HalfOpen
+    /// forever and every future submission is rejected until restart.
+    #[test]
+    fn drain_flush_resolves_an_unrun_half_open_probe() {
+        let shared = bare_shared();
+        shared.lock_breaker().state = BreakerState::HalfOpen;
+        shared.lock_queue().push_back(QueuedJob {
+            id: "probe".into(),
+            spec: None,
+            deadline: None,
+            respond: None,
+            probe: true,
+        });
+        drain(&shared);
+        assert_eq!(shared.lock_breaker().label(), "open");
+    }
+
+    #[test]
+    fn queued_deadline_shed_resolves_an_unrun_half_open_probe() {
+        let shared = bare_shared();
+        shared.lock_breaker().state = BreakerState::HalfOpen;
+        run_job(
+            &shared,
+            QueuedJob {
+                id: "probe".into(),
+                spec: None,
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+                respond: None,
+                probe: true,
+            },
+        );
+        assert_eq!(shared.lock_breaker().label(), "open");
+        assert_eq!(shared.deadline_timeouts.load(Ordering::SeqCst), 1);
     }
 
     #[test]

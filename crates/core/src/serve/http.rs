@@ -41,10 +41,13 @@ pub enum HttpError {
         /// Which limit.
         detail: String,
     },
-    /// The socket died mid-request.
+    /// The socket died or stalled mid-request.
     Io {
         /// The I/O error, stringified (keeps the type `PartialEq`).
         detail: String,
+        /// The client stalled past the read timeout (→ 408); otherwise
+        /// the transport itself broke and no response is owed.
+        timeout: bool,
     },
 }
 
@@ -53,7 +56,10 @@ impl fmt::Display for HttpError {
         match self {
             HttpError::Bad { detail } => write!(f, "bad request: {detail}"),
             HttpError::TooLarge { detail } => write!(f, "request too large: {detail}"),
-            HttpError::Io { detail } => write!(f, "request i/o: {detail}"),
+            HttpError::Io { detail, timeout } => {
+                let kind = if *timeout { "request read timeout" } else { "request i/o" };
+                write!(f, "{kind}: {detail}")
+            }
         }
     }
 }
@@ -197,6 +203,10 @@ pub struct Request {
 /// terminates within [`MAX_HEAD_BYTES`].
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let io = |e: std::io::Error| HttpError::Io {
+        timeout: matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
         detail: e.to_string(),
     };
     // A stuck client must not wedge a connection handler forever.
@@ -306,6 +316,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",

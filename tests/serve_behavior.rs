@@ -271,6 +271,38 @@ fn drain_on_signal_checkpoints_inflight_work_and_recovers_on_reboot() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Anonymous submissions never collide with jobs recovered from a
+/// previous process: `next_id` restarts at 1 every boot, so the id
+/// generator must skip ids already present in the registry or on disk
+/// instead of answering a spurious 409.
+#[test]
+fn generated_ids_skip_jobs_recovered_from_a_previous_boot() {
+    let dir = tmp_dir("autoid");
+    let mut config = ServeConfig::new(&dir, 0);
+    config.workers = 1;
+    let server = Server::bind(config.clone()).expect("bind");
+    let port = server.port();
+
+    let anon = "{\"dcs\": \"A\", \"planners\": [\"Semi-Static\"], \
+                \"scale\": 0.02, \"history_days\": 2, \"eval_days\": 1}";
+    let reply = post(port, anon.to_owned());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"job\": \"job-0001\""), "{}", reply.body);
+    server.drain_handle().drain();
+    server.join();
+
+    // Reboot on the same directory: job-0001 is recovered from disk,
+    // and the next anonymous submission gets a fresh id, not a 409.
+    let server2 = Server::bind(config).expect("rebind");
+    let port2 = server2.port();
+    let reply = post(port2, anon.to_owned());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"job\": \"job-0002\""), "{}", reply.body);
+    server2.drain_handle().drain();
+    server2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Adversarial wire input against a live server: pipelined requests get
 /// exactly one response (`Connection: close`), malformed framing gets
 /// 400, an oversized head gets 431 — and the server stays up.
